@@ -1,0 +1,43 @@
+// Command genbench writes the synthetic benchmark twins to BLIF files so
+// they can be inspected or fed to other tools (and back into powerest /
+// bddorder).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/blif"
+	"repro/internal/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genbench: ")
+	dir := flag.String("dir", "benchmarks", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range gen.Table1Circuits() {
+		name := strings.ReplaceAll(strings.ToLower(c.Name), " ", "")
+		path := filepath.Join(*dir, name+".blif")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := blif.Write(f, &blif.Model{Network: c.Net}); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %4d PIs %4d POs %5d gates\n", path,
+			c.Net.NumInputs(), c.Net.NumOutputs(), c.Net.GateCount())
+	}
+}

@@ -1,0 +1,122 @@
+// Command powerest estimates and measures the power of a circuit under a
+// phase assignment, or prints the Figure 2 switching curves.
+//
+// Usage:
+//
+//	powerest -blif circuit.blif [-phases +-+...] [-p 0.5] [-vectors 4096]
+//	powerest -curve [-steps 20]
+//
+// With -blif it reads a combinational BLIF model, applies the given
+// phases (all-positive when omitted), maps it to domino cells and prints
+// the model estimate next to the Monte-Carlo measurement. With -curve it
+// prints the domino (S=p) and static (S=2p(1−p)) switching curves of the
+// paper's Figure 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/blif"
+	"repro/internal/domino"
+	"repro/internal/flow"
+	"repro/internal/phase"
+	"repro/internal/power"
+	"repro/internal/prob"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("powerest: ")
+	blifPath := flag.String("blif", "", "BLIF file to analyze")
+	phases := flag.String("phases", "", "phase string, one +/- per output (default all +)")
+	p := flag.Float64("p", 0.5, "primary input signal probability")
+	vectors := flag.Int("vectors", 4096, "Monte-Carlo vectors")
+	curve := flag.Bool("curve", false, "print the Figure 2 switching curves and exit")
+	steps := flag.Int("steps", 20, "curve sample count")
+	flag.Parse()
+
+	if *curve {
+		dom, sta := prob.Figure2Curves(*steps)
+		ps := make([]float64, len(dom))
+		ds := make([]float64, len(dom))
+		ss := make([]float64, len(sta))
+		for i := range dom {
+			ps[i] = dom[i].P
+			ds[i] = dom[i].S
+			ss[i] = sta[i].S
+		}
+		fmt.Print(report.Curve("Figure 2: domino switching S = p", ps, ds))
+		fmt.Println()
+		fmt.Print(report.Curve("Figure 2: static switching S = 2p(1-p)", ps, ss))
+		return
+	}
+	if *blifPath == "" {
+		log.Fatal("need -blif FILE or -curve")
+	}
+	f, err := os.Open(*blifPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	m, err := blif.Parse(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(m.Latches) > 0 {
+		log.Fatal("powerest handles combinational models; use mfvspart for sequential circuits")
+	}
+	net := flow.Prepare(m.Network)
+
+	asg := phase.AllPositive(net.NumOutputs())
+	if *phases != "" {
+		if len(*phases) != net.NumOutputs() {
+			log.Fatalf("phase string has %d entries, circuit has %d outputs", len(*phases), net.NumOutputs())
+		}
+		for i, ch := range *phases {
+			switch ch {
+			case '+':
+			case '-':
+				asg[i] = true
+			default:
+				log.Fatalf("bad phase char %q (want + or -)", ch)
+			}
+		}
+	}
+	res, err := phase.Apply(net, asg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := domino.DefaultLibrary()
+	blk, err := domino.Map(res, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probs := prob.Uniform(net, *p)
+	est, err := power.Estimate(blk, probs, power.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	meas, err := sim.Run(blk, sim.Config{Vectors: *vectors, InputProbs: probs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit      %s (%d PIs, %d POs)\n", net.Name, net.NumInputs(), net.NumOutputs())
+	fmt.Printf("phases       %s\n", asg)
+	fmt.Printf("cells        %d domino + %d boundary inverters = %d\n",
+		blk.DominoCellCount(), blk.InverterCount(), blk.CellCount())
+	fmt.Printf("est power    %.4f  (domino %.4f, in-inv %.4f, out-inv %.4f; %s probabilities)\n",
+		est.Total, est.Domino, est.InputInverters, est.OutputInverters, engine(est.ExactProbs))
+	fmt.Printf("sim power    %.4f  (%d vectors)\n", meas.Total, meas.Cycles)
+}
+
+func engine(exact bool) string {
+	if exact {
+		return "exact"
+	}
+	return "approximate"
+}

@@ -1,0 +1,460 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs, Bryant [1]) sized for the signal-probability computations the
+// paper's power estimator performs (Section 4.2.2).
+//
+// The manager uses index-based nodes (no complement edges) with a unique
+// table for canonicity and memo caches for ITE and the binary operators.
+// Signal probability evaluation is a single linear pass over the DAG,
+// which is what makes BDD-based probability estimation attractive for the
+// iterative phase-assignment loop.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref is a reference to a BDD node within one Manager. The terminals are
+// False (0) and True (1).
+type Ref int32
+
+// Terminal node references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // position of the decision variable in the current order
+	lo, hi Ref
+}
+
+type nodeKey struct {
+	level  int32
+	lo, hi Ref
+}
+
+type opKey struct {
+	op   uint8
+	a, b Ref
+}
+
+const (
+	opAnd uint8 = iota
+	opOr
+	opXor
+)
+
+// Manager owns a shared ROBDD forest over a fixed number of variables.
+// Variables are identified by index 0..NumVars-1; the variable order is
+// fixed at construction (level i holds variable order[i]).
+type Manager struct {
+	nodes  []node
+	unique map[nodeKey]Ref
+	ite    map[[3]Ref]Ref
+	binop  map[opKey]Ref
+
+	// varAtLevel[l] = variable index decided at level l;
+	// levelOfVar[v] = level of variable v.
+	varAtLevel []int32
+	levelOfVar []int32
+}
+
+// New creates a manager over numVars variables in natural order
+// (variable i at level i).
+func New(numVars int) *Manager {
+	order := make([]int, numVars)
+	for i := range order {
+		order[i] = i
+	}
+	return NewWithOrder(numVars, order)
+}
+
+// NewWithOrder creates a manager whose level l decides variable order[l].
+// order must be a permutation of 0..numVars-1.
+func NewWithOrder(numVars int, order []int) *Manager {
+	if len(order) != numVars {
+		panic(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), numVars))
+	}
+	m := &Manager{
+		nodes:      make([]node, 2, 1024),
+		unique:     make(map[nodeKey]Ref),
+		ite:        make(map[[3]Ref]Ref),
+		binop:      make(map[opKey]Ref),
+		varAtLevel: make([]int32, numVars),
+		levelOfVar: make([]int32, numVars),
+	}
+	seen := make([]bool, numVars)
+	for l, v := range order {
+		if v < 0 || v >= numVars || seen[v] {
+			panic(fmt.Sprintf("bdd: order is not a permutation at position %d", l))
+		}
+		seen[v] = true
+		m.varAtLevel[l] = int32(v)
+		m.levelOfVar[v] = int32(l)
+	}
+	// Terminal sentinels: level beyond all variables.
+	m.nodes[False] = node{level: int32(numVars), lo: False, hi: False}
+	m.nodes[True] = node{level: int32(numVars), lo: True, hi: True}
+	return m
+}
+
+// NumVars returns the number of variables the manager was created with.
+func (m *Manager) NumVars() int { return len(m.varAtLevel) }
+
+// Size returns the total number of allocated nodes including terminals.
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Order returns the current variable order (level -> variable index).
+func (m *Manager) Order() []int {
+	o := make([]int, len(m.varAtLevel))
+	for l, v := range m.varAtLevel {
+		o[l] = int(v)
+	}
+	return o
+}
+
+// LevelOf returns the level at which variable v is decided.
+func (m *Manager) LevelOf(v int) int { return int(m.levelOfVar[v]) }
+
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := nodeKey{level, lo, hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD for the single variable v.
+func (m *Manager) Var(v int) Ref {
+	if v < 0 || v >= m.NumVars() {
+		panic(fmt.Sprintf("bdd: variable %d out of range", v))
+	}
+	return m.mk(m.levelOfVar[v], False, True)
+}
+
+// NVar returns the BDD for the complemented variable v.
+func (m *Manager) NVar(v int) Ref {
+	return m.mk(m.levelOfVar[v], True, False)
+}
+
+// Const returns the terminal for a boolean value.
+func Const(v bool) Ref {
+	if v {
+		return True
+	}
+	return False
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// cofactors returns the (lo, hi) cofactors of r with respect to the
+// variable at the given level.
+func (m *Manager) cofactors(r Ref, level int32) (Ref, Ref) {
+	n := &m.nodes[r]
+	if n.level == level {
+		return n.lo, n.hi
+	}
+	return r, r
+}
+
+// Not returns the complement of f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.apply(opAnd, f, g) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.apply(opOr, f, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.apply(opXor, f, g) }
+
+// AndN folds And over its arguments (True for none).
+func (m *Manager) AndN(fs ...Ref) Ref {
+	acc := True
+	for _, f := range fs {
+		acc = m.And(acc, f)
+	}
+	return acc
+}
+
+// OrN folds Or over its arguments (False for none).
+func (m *Manager) OrN(fs ...Ref) Ref {
+	acc := False
+	for _, f := range fs {
+		acc = m.Or(acc, f)
+	}
+	return acc
+}
+
+func (m *Manager) apply(op uint8, f, g Ref) Ref {
+	// Terminal rules.
+	switch op {
+	case opAnd:
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opOr:
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == g {
+			return f
+		}
+	case opXor:
+		if f == g {
+			return False
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == True {
+			return m.Not(g)
+		}
+		if g == True {
+			return m.Not(f)
+		}
+	}
+	// Normalize operand order for the commutative cache.
+	if f > g {
+		f, g = g, f
+	}
+	key := opKey{op, f, g}
+	if r, ok := m.binop[key]; ok {
+		return r
+	}
+	lf, lg := m.level(f), m.level(g)
+	top := lf
+	if lg < top {
+		top = lg
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	r := m.mk(top, m.apply(op, f0, g0), m.apply(op, f1, g1))
+	m.binop[key] = r
+	return r
+}
+
+// ITE computes if-then-else(f, g, h) = f·g + f̄·h.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.ite[key] = r
+	return r
+}
+
+// Restrict returns f with variable v fixed to val.
+func (m *Manager) Restrict(f Ref, v int, val bool) Ref {
+	lv := m.levelOfVar[v]
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		n := &m.nodes[r]
+		if n.level > lv {
+			return r
+		}
+		if got, ok := memo[r]; ok {
+			return got
+		}
+		var res Ref
+		if n.level == lv {
+			if val {
+				res = n.hi
+			} else {
+				res = n.lo
+			}
+		} else {
+			res = m.mk(n.level, rec(n.lo), rec(n.hi))
+		}
+		memo[r] = res
+		return res
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a complete variable assignment.
+func (m *Manager) Eval(f Ref, assignment []bool) bool {
+	if len(assignment) != m.NumVars() {
+		panic(fmt.Sprintf("bdd: assignment length %d != %d vars", len(assignment), m.NumVars()))
+	}
+	r := f
+	for r != True && r != False {
+		n := &m.nodes[r]
+		if assignment[m.varAtLevel[n.level]] {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// Support returns the sorted variable indexes f depends on.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int]bool)
+	var rec func(Ref)
+	rec = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := &m.nodes[r]
+		vars[int(m.varAtLevel[n.level])] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NodeCount returns the number of distinct non-terminal nodes reachable
+// from the given roots. This is the "non-leaf BDD nodes" measure the
+// paper's Figure 10 compares variable orders with.
+func (m *Manager) NodeCount(roots ...Ref) int {
+	seen := make(map[Ref]bool)
+	count := 0
+	var rec func(Ref)
+	rec = func(r Ref) {
+		if r == True || r == False || seen[r] {
+			return
+		}
+		seen[r] = true
+		count++
+		n := &m.nodes[r]
+		rec(n.lo)
+		rec(n.hi)
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return count
+}
+
+// Probability returns P[f = 1] when variable v is an independent Bernoulli
+// with P[v=1] = probs[v]. For a BDD this is exact and linear in the number
+// of nodes:
+//
+//	P(node) = (1−p)·P(lo) + p·P(hi)
+//
+// which is precisely why the paper computes signal probabilities on BDDs.
+func (m *Manager) Probability(f Ref, probs []float64) float64 {
+	if len(probs) != m.NumVars() {
+		panic(fmt.Sprintf("bdd: probs length %d != %d vars", len(probs), m.NumVars()))
+	}
+	memo := make(map[Ref]float64)
+	return m.probability(f, probs, memo)
+}
+
+// ProbabilityMany evaluates P[f=1] for many roots sharing one memo table,
+// which matters when the roots share structure (they do: the paper's
+// variable ordering heuristic is designed to maximize that sharing).
+func (m *Manager) ProbabilityMany(roots []Ref, probs []float64) []float64 {
+	if len(probs) != m.NumVars() {
+		panic(fmt.Sprintf("bdd: probs length %d != %d vars", len(probs), m.NumVars()))
+	}
+	memo := make(map[Ref]float64, len(roots)*4)
+	out := make([]float64, len(roots))
+	for i, r := range roots {
+		out[i] = m.probability(r, probs, memo)
+	}
+	return out
+}
+
+func (m *Manager) probability(f Ref, probs []float64, memo map[Ref]float64) float64 {
+	if f == False {
+		return 0
+	}
+	if f == True {
+		return 1
+	}
+	if p, ok := memo[f]; ok {
+		return p
+	}
+	n := &m.nodes[f]
+	p := probs[m.varAtLevel[n.level]]
+	res := (1-p)*m.probability(n.lo, probs, memo) + p*m.probability(n.hi, probs, memo)
+	memo[f] = res
+	return res
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// NumVars variables.
+func (m *Manager) SatCount(f Ref) float64 {
+	probs := make([]float64, m.NumVars())
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	frac := m.Probability(f, probs)
+	total := 1.0
+	for i := 0; i < m.NumVars(); i++ {
+		total *= 2
+	}
+	return frac * total
+}
+
+// String renders a node for debugging.
+func (m *Manager) String(f Ref) string {
+	switch f {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	n := &m.nodes[f]
+	return fmt.Sprintf("node(%d: var x%d, lo=%s, hi=%s)", f, m.varAtLevel[n.level], m.String(n.lo), m.String(n.hi))
+}

@@ -1,0 +1,222 @@
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// NetworkBDDs holds the result of building BDDs for a combinational
+// network: one root per network node, over variables indexed by primary
+// input position.
+type NetworkBDDs struct {
+	Manager *Manager
+	// NodeRefs[i] is the BDD of network node i in terms of the primary
+	// inputs.
+	NodeRefs []Ref
+	// InputVar maps a primary-input NodeID to its BDD variable index
+	// (position in Network.Inputs()).
+	InputVar map[logic.NodeID]int
+}
+
+// InputLit maps one network input onto a literal of a shared variable
+// space: variable Var, complemented when Neg. It lets callers express
+// that two inputs of a block are the true and complemented rails of the
+// same physical signal, which matters for exact probabilities.
+type InputLit struct {
+	Var int
+	Neg bool
+}
+
+// BuildNetwork constructs BDDs for every node of the network. order gives
+// the variable order as a permutation of input positions (level l decides
+// input order[l]); pass nil for natural input order. The network must not
+// contain cycles (guaranteed by logic.Network construction).
+func BuildNetwork(n *logic.Network, order []int) (*NetworkBDDs, error) {
+	lits := make([]InputLit, n.NumInputs())
+	for i := range lits {
+		lits[i] = InputLit{Var: i}
+	}
+	return BuildNetworkLits(n, n.NumInputs(), lits, order)
+}
+
+// BuildNetworkLits constructs BDDs for every node of the network over an
+// external variable space of numVars variables; input position p of the
+// network is the literal lits[p]. order is a permutation of the numVars
+// variables (nil for natural).
+func BuildNetworkLits(n *logic.Network, numVars int, lits []InputLit, order []int) (*NetworkBDDs, error) {
+	if len(lits) != n.NumInputs() {
+		return nil, fmt.Errorf("bdd: %d literals for %d inputs", len(lits), n.NumInputs())
+	}
+	if order == nil {
+		order = make([]int, numVars)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	m := NewWithOrder(numVars, order)
+	refs := make([]Ref, n.NumNodes())
+	inputVar := make(map[logic.NodeID]int, n.NumInputs())
+	for pos, id := range n.Inputs() {
+		inputVar[id] = lits[pos].Var
+	}
+	inputNeg := make(map[logic.NodeID]bool, n.NumInputs())
+	for pos, id := range n.Inputs() {
+		inputNeg[id] = lits[pos].Neg
+	}
+	for i := 0; i < n.NumNodes(); i++ {
+		id := logic.NodeID(i)
+		nd := n.Node(id)
+		switch nd.Kind {
+		case logic.KindInput:
+			if inputNeg[id] {
+				refs[i] = m.NVar(inputVar[id])
+			} else {
+				refs[i] = m.Var(inputVar[id])
+			}
+		case logic.KindConst0:
+			refs[i] = False
+		case logic.KindConst1:
+			refs[i] = True
+		case logic.KindBuf:
+			refs[i] = refs[nd.Fanins[0]]
+		case logic.KindNot:
+			refs[i] = m.Not(refs[nd.Fanins[0]])
+		case logic.KindAnd:
+			acc := True
+			for _, f := range nd.Fanins {
+				acc = m.And(acc, refs[f])
+			}
+			refs[i] = acc
+		case logic.KindOr:
+			acc := False
+			for _, f := range nd.Fanins {
+				acc = m.Or(acc, refs[f])
+			}
+			refs[i] = acc
+		case logic.KindXor:
+			acc := False
+			for _, f := range nd.Fanins {
+				acc = m.Xor(acc, refs[f])
+			}
+			refs[i] = acc
+		default:
+			return nil, fmt.Errorf("bdd: unsupported node kind %s", nd.Kind)
+		}
+	}
+	return &NetworkBDDs{Manager: m, NodeRefs: refs, InputVar: inputVar}, nil
+}
+
+// OutputRefs returns the BDD roots of the network's primary outputs in
+// output order.
+func (nb *NetworkBDDs) OutputRefs(n *logic.Network) []Ref {
+	outs := make([]Ref, n.NumOutputs())
+	for i, o := range n.Outputs() {
+		outs[i] = nb.NodeRefs[o.Driver]
+	}
+	return outs
+}
+
+// Transfer rebuilds the function rooted at f in a destination manager with
+// a possibly different variable order. varMap maps source variable index
+// to destination variable index (nil for identity).
+func Transfer(src *Manager, f Ref, dst *Manager, varMap []int) Ref {
+	if varMap == nil {
+		varMap = make([]int, src.NumVars())
+		for i := range varMap {
+			varMap[i] = i
+		}
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(r Ref) Ref {
+		if r == False {
+			return False
+		}
+		if r == True {
+			return True
+		}
+		if got, ok := memo[r]; ok {
+			return got
+		}
+		n := &src.nodes[r]
+		v := varMap[src.varAtLevel[n.level]]
+		lo := rec(n.lo)
+		hi := rec(n.hi)
+		res := dst.ITE(dst.Var(v), hi, lo)
+		memo[r] = res
+		return res
+	}
+	return rec(f)
+}
+
+// CountUnderOrder reports the shared non-terminal node count of the given
+// roots when rebuilt under a different variable order. It is the
+// comparison primitive behind the Figure 10 experiment and the sifting
+// reorderer.
+func CountUnderOrder(src *Manager, roots []Ref, order []int) int {
+	dst := NewWithOrder(src.NumVars(), order)
+	newRoots := make([]Ref, len(roots))
+	for i, r := range roots {
+		newRoots[i] = Transfer(src, r, dst, nil)
+	}
+	return dst.NodeCount(newRoots...)
+}
+
+// Sift performs a rebuild-based variant of Rudell's sifting: each
+// variable in turn is tried at every position (keeping the relative order
+// of the others) and left at the position minimizing the shared node
+// count of roots. Returns the best order found and its node count.
+//
+// The classic in-place sifting swaps adjacent levels inside the unique
+// table; at the circuit scale of this reproduction a rebuild per candidate
+// position is affordable and considerably simpler to validate.
+func Sift(src *Manager, roots []Ref) ([]int, int) {
+	order := src.Order()
+	best := CountUnderOrder(src, roots, order)
+	n := len(order)
+	for v := 0; v < n; v++ {
+		// Current position of variable v in order.
+		pos := -1
+		for i, ov := range order {
+			if ov == v {
+				pos = i
+				break
+			}
+		}
+		bestPos, bestCount := pos, best
+		for p := 0; p < n; p++ {
+			if p == pos {
+				continue
+			}
+			cand := moveVar(order, pos, p)
+			c := CountUnderOrder(src, roots, cand)
+			if c < bestCount {
+				bestCount, bestPos = c, p
+			}
+		}
+		if bestPos != pos {
+			order = moveVar(order, pos, bestPos)
+			best = bestCount
+		}
+	}
+	return order, best
+}
+
+// moveVar returns a copy of order with the element at position from moved
+// to position to.
+func moveVar(order []int, from, to int) []int {
+	out := make([]int, 0, len(order))
+	v := order[from]
+	for i, ov := range order {
+		if i == from {
+			continue
+		}
+		out = append(out, ov)
+	}
+	// Insert v at position to.
+	out = append(out, 0)
+	copy(out[to+1:], out[to:])
+	out[to] = v
+	return out
+}

@@ -1,0 +1,135 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExistsForallBasics(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	if got := m.Exists(f, 0); got != b {
+		t.Errorf("∃a. a∧b = %s, want b", m.String(got))
+	}
+	if got := m.Forall(f, 0); got != False {
+		t.Errorf("∀a. a∧b = %s, want 0", m.String(got))
+	}
+	g := m.Or(a, b)
+	if got := m.Forall(g, 0); got != b {
+		t.Errorf("∀a. a∨b = %s, want b", m.String(got))
+	}
+	if got := m.Exists(g, 0); got != True {
+		t.Errorf("∃a. a∨b = %s, want 1", m.String(got))
+	}
+}
+
+func TestQuantifierDuality(t *testing.T) {
+	// ¬∃v.f = ∀v.¬f
+	rng := rand.New(rand.NewSource(41))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(5)
+		f := randomRef(r, m)
+		v := r.Intn(5)
+		return m.Not(m.Exists(f, v)) == m.Forall(m.Not(f), v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantifiedResultIndependentOfVar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		m := New(5)
+		f := randomRef(rng, m)
+		v := rng.Intn(5)
+		e := m.Exists(f, v)
+		for _, s := range m.Support(e) {
+			if s == v {
+				t.Fatalf("trial %d: ∃x%d f still depends on x%d", trial, v, v)
+			}
+		}
+	}
+}
+
+func TestExistsManyOrder(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(0), m.And(m.Var(1), m.Var(2)))
+	a := m.ExistsMany(f, []int{0, 1})
+	b := m.ExistsMany(f, []int{1, 0})
+	if a != b {
+		t.Error("quantification order changed the result")
+	}
+	if a != m.Var(2) {
+		t.Errorf("∃ab. abc = %s, want c", m.String(a))
+	}
+}
+
+func TestCompose(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.And(a, b)
+	// f[a := b∨c] = (b∨c)∧b = b.
+	got := m.Compose(f, 0, m.Or(b, c))
+	if got != b {
+		t.Errorf("compose = %s, want b", m.String(got))
+	}
+}
+
+func TestComposeSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 50; trial++ {
+		m := New(5)
+		f := randomRef(rng, m)
+		g := randomRef(rng, m)
+		v := rng.Intn(5)
+		h := m.Compose(f, v, g)
+		assignment := make([]bool, 5)
+		for mask := 0; mask < 32; mask++ {
+			for i := range assignment {
+				assignment[i] = mask&(1<<uint(i)) != 0
+			}
+			// Evaluate f with v replaced by g's value.
+			modified := append([]bool(nil), assignment...)
+			modified[v] = m.Eval(g, assignment)
+			if m.Eval(h, assignment) != m.Eval(f, modified) {
+				t.Fatalf("trial %d: compose wrong at %v", trial, assignment)
+			}
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	m := New(2)
+	a, b := m.Var(0), m.Var(1)
+	if !m.Implies(m.And(a, b), a) {
+		t.Error("a∧b must imply a")
+	}
+	if m.Implies(a, m.And(a, b)) {
+		t.Error("a must not imply a∧b")
+	}
+	if !m.Implies(False, a) || !m.Implies(a, True) {
+		t.Error("terminal implications wrong")
+	}
+}
+
+func TestAnySat(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(1), m.Not(m.Var(3)))
+	asg := m.AnySat(f)
+	if asg == nil {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	if !m.Eval(f, asg) {
+		t.Errorf("AnySat returned non-satisfying %v", asg)
+	}
+	if m.AnySat(False) != nil {
+		t.Error("False reported satisfiable")
+	}
+	if asg := m.AnySat(True); asg == nil || !m.Eval(True, asg) {
+		t.Error("True must be satisfiable")
+	}
+}

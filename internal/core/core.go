@@ -1,0 +1,193 @@
+// Package core is the top-level API of the reproduction: one-call access
+// to the paper's flow — phase assignment for low-power domino synthesis —
+// with sensible defaults, plus re-exports of the option types a caller
+// tunes.
+//
+// The pipeline behind Synthesize:
+//
+//	logic.Network (with inverters, from code or BLIF)
+//	  → technology-independent cleanup (logic.Optimize, XOR decomposition)
+//	  → output phase assignment (phase.MinArea / phase.MinPower /
+//	    phase.Exhaustive, per Objective)
+//	  → domino mapping (domino.Map) under a width-limited cell library
+//	  → power estimation (power.Estimate, BDD-exact or approximate)
+//	  → Monte-Carlo measurement (sim.Run)
+//	  → optional timing resize (timing.Resize)
+//
+// Lower-level control lives in the respective internal packages; this
+// package only composes them.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/domino"
+	"repro/internal/flow"
+	"repro/internal/logic"
+	"repro/internal/phase"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Objective selects the phase-assignment goal.
+type Objective int
+
+// Synthesis objectives.
+const (
+	// MinPower runs the paper's pairwise-cost power heuristic ("MP").
+	MinPower Objective = iota
+	// MinArea runs the Puri-style minimum-area baseline ("MA").
+	MinArea
+	// ExhaustivePower searches all 2^outputs assignments for minimum
+	// power (feasible up to 20 outputs).
+	ExhaustivePower
+)
+
+// Options configures Synthesize. The zero value uses the defaults the
+// reproduction's experiments use: input probability 0.5, the default
+// domino library, auto-selected probability engine, 4096 measurement
+// vectors.
+type Options struct {
+	Objective Objective
+	// InputProb applies one signal probability to every primary input;
+	// InputProbs (when non-nil) gives per-input probabilities instead.
+	InputProb  float64
+	InputProbs []float64
+	// Library overrides the domino cell library.
+	Library *domino.Library
+	// Vectors is the Monte-Carlo measurement cycle count.
+	Vectors int
+	// Seed drives measurement vector generation.
+	Seed int64
+	// TimingTarget, when positive, resizes the mapped block to this
+	// critical delay after mapping.
+	TimingTarget float64
+	// MaxPairs caps the MinPower pair set (0 = all).
+	MaxPairs int
+}
+
+// Result bundles the synthesized implementation and its measurements.
+type Result struct {
+	// Assignment is the chosen output phase assignment.
+	Assignment phase.Assignment
+	// Phase carries the inverter-free block and boundary metadata.
+	Phase *phase.Result
+	// Block is the mapped domino implementation.
+	Block *domino.Block
+	// Cells is the standard-cell count (domino cells + boundary
+	// inverters); Area the sized area.
+	Cells int
+	Area  float64
+	// EstimatedPower is the model power Σ S·C·(1+P); MeasuredPower the
+	// Monte-Carlo measurement in the same units.
+	EstimatedPower float64
+	MeasuredPower  float64
+	// CriticalDelay is the post-flow critical path delay; MetTiming
+	// reports whether TimingTarget (if any) was met.
+	CriticalDelay float64
+	MetTiming     bool
+}
+
+// Synthesize runs the full flow on a network and returns the implemented
+// block with its measurements. The input network may contain inverters
+// and XOR gates; it is cleaned and decomposed first.
+func Synthesize(net *logic.Network, opts Options) (*Result, error) {
+	if opts.InputProb == 0 {
+		opts.InputProb = 0.5
+	}
+	if opts.Vectors == 0 {
+		opts.Vectors = 4096
+	}
+	lib := domino.DefaultLibrary()
+	if opts.Library != nil {
+		lib = *opts.Library
+	}
+	prepared := flow.Prepare(net)
+	probs := opts.InputProbs
+	if probs == nil {
+		probs = make([]float64, prepared.NumInputs())
+		for i := range probs {
+			probs[i] = opts.InputProb
+		}
+	}
+	if len(probs) != prepared.NumInputs() {
+		return nil, fmt.Errorf("core: %d input probs for %d inputs", len(probs), prepared.NumInputs())
+	}
+
+	var asg phase.Assignment
+	var res *phase.Result
+	var err error
+	switch opts.Objective {
+	case MinPower:
+		asg, res, _, _, err = phase.MinPower(prepared, phase.PowerOptions{
+			InputProbs: probs,
+			Evaluate:   power.Evaluator(lib, probs, power.Options{}),
+			MaxPairs:   opts.MaxPairs,
+		})
+	case MinArea:
+		asg, res, _, err = phase.MinArea(prepared, phase.SearchOptions{
+			Eval: func(r *phase.Result) (float64, error) {
+				b, mErr := domino.Map(r, lib)
+				if mErr != nil {
+					return 0, mErr
+				}
+				return float64(b.CellCount()), nil
+			},
+		})
+	case ExhaustivePower:
+		asg, res, _, err = phase.Exhaustive(prepared, power.Evaluator(lib, probs, power.Options{}))
+	default:
+		return nil, fmt.Errorf("core: unknown objective %d", opts.Objective)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	block, err := domino.Map(res, lib)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Assignment: asg, Phase: res, Block: block, MetTiming: true}
+
+	tp := timing.DefaultParams()
+	if opts.TimingTarget > 0 {
+		a, _, rErr := timing.Resize(block, tp, opts.TimingTarget)
+		out.CriticalDelay = a.Critical
+		out.MetTiming = rErr == nil
+	} else {
+		out.CriticalDelay = timing.Analyze(block, tp).Critical
+	}
+
+	est, err := power.Estimate(block, probs, power.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sim.Run(block, sim.Config{Vectors: opts.Vectors, Seed: opts.Seed, InputProbs: probs})
+	if err != nil {
+		return nil, err
+	}
+	out.EstimatedPower = est.Total
+	out.MeasuredPower = rep.Total
+	out.Cells = block.CellCount()
+	out.Area = block.Area()
+	return out, nil
+}
+
+// Compare synthesizes the same network under the minimum-area and
+// minimum-power objectives and returns both results — the paper's MA/MP
+// experiment for one circuit.
+func Compare(net *logic.Network, opts Options) (ma, mp *Result, err error) {
+	o := opts
+	o.Objective = MinArea
+	ma, err = Synthesize(net, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.Objective = MinPower
+	mp, err = Synthesize(net, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ma, mp, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/domino"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/phase"
+)
+
+func testNet() *logic.Network {
+	return gen.Generate(gen.Params{Name: "coretest", Inputs: 10, Outputs: 4, Gates: 50, Seed: 0xC04E, OrProb: 0.7})
+}
+
+func TestSynthesizeMinPower(t *testing.T) {
+	r, err := Synthesize(testNet(), Options{Objective: MinPower, Vectors: 2048})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if r.Cells <= 0 || r.Area <= 0 {
+		t.Errorf("cells %d, area %v", r.Cells, r.Area)
+	}
+	if r.MeasuredPower <= 0 || r.EstimatedPower <= 0 {
+		t.Errorf("powers: est %v meas %v", r.EstimatedPower, r.MeasuredPower)
+	}
+	if r.Block.Net.HasInverters() {
+		t.Error("mapped block has inverters")
+	}
+	// The synthesis must be functionally correct.
+	eq, err := logic.Equivalent(r.Phase.Original, r.Phase.Reconstructed())
+	if err != nil || !eq {
+		t.Errorf("function changed: %v %v", eq, err)
+	}
+}
+
+func TestCompareObjectives(t *testing.T) {
+	ma, mp, err := Compare(testNet(), Options{Vectors: 2048})
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if mp.Cells < ma.Cells {
+		t.Errorf("MP (%d cells) beat MA (%d cells) on area — MA search is broken", mp.Cells, ma.Cells)
+	}
+	if mp.EstimatedPower > ma.EstimatedPower+1e-9 {
+		t.Errorf("MP estimate (%v) worse than MA estimate (%v)", mp.EstimatedPower, ma.EstimatedPower)
+	}
+}
+
+func TestSynthesizeExhaustivePower(t *testing.T) {
+	net := gen.Generate(gen.Params{Name: "tiny", Inputs: 8, Outputs: 3, Gates: 30, Seed: 3, OrProb: 0.7})
+	exh, err := Synthesize(net, Options{Objective: ExhaustivePower, Vectors: 1024})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	mp, err := Synthesize(net, Options{Objective: MinPower, Vectors: 1024})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if mp.EstimatedPower < exh.EstimatedPower-1e-9 {
+		t.Errorf("heuristic (%v) beat exhaustive (%v): exhaustive search broken", mp.EstimatedPower, exh.EstimatedPower)
+	}
+}
+
+func TestSynthesizeWithTimingTarget(t *testing.T) {
+	base, err := Synthesize(testNet(), Options{Objective: MinArea, Vectors: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Synthesize(testNet(), Options{Objective: MinArea, Vectors: 512, TimingTarget: base.CriticalDelay * 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MetTiming && r.CriticalDelay > base.CriticalDelay*0.95 {
+		t.Errorf("claimed timing met at %v > target %v", r.CriticalDelay, base.CriticalDelay*0.95)
+	}
+}
+
+func TestSynthesizeRejectsBadProbs(t *testing.T) {
+	if _, err := Synthesize(testNet(), Options{InputProbs: []float64{0.5}}); err == nil {
+		t.Error("accepted wrong-length probability vector")
+	}
+}
+
+func TestSynthesizePerInputProbs(t *testing.T) {
+	net := testNet()
+	probs := make([]float64, net.NumInputs())
+	for i := range probs {
+		probs[i] = 0.9
+	}
+	r, err := Synthesize(net, Options{InputProbs: probs, Vectors: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeasuredPower <= 0 {
+		t.Error("no power measured")
+	}
+}
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	r, err := Synthesize(testNet(), Options{Objective: MinPower, Vectors: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-applying the returned assignment must give the same block size.
+	res, err := phase.Apply(r.Phase.Original, r.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Block.GateCount() != r.Phase.Block.GateCount() {
+		t.Error("assignment does not reproduce the block")
+	}
+}
+
+func TestSynthesizeLibraryOverride(t *testing.T) {
+	lib := domino.DefaultLibrary()
+	lib.MaxSeries = 2
+	lib.MaxParallel = 2
+	r, err := Synthesize(testNet(), Options{Objective: MinArea, Vectors: 256, Library: &lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range r.Block.Cells {
+		if c.Width > 2 {
+			t.Fatalf("library override ignored: width %d cell", c.Width)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package flow wires the substrates into the paper's experimental flows
+// (Section 5):
+//
+//	technology-independent optimization
+//	  → phase assignment (minimum-area baseline "MA" [15], or the
+//	    paper's minimum-power heuristic "MP")
+//	  → domino technology mapping
+//	  → (Table 2 only) transistor resizing to a timing target
+//	  → power measurement by Monte-Carlo simulation (PowerMill stand-in)
+//
+// RunTable1 and RunTable2 regenerate the paper's two result tables on the
+// synthetic benchmark twins of internal/gen.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/domino"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/phase"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/sop"
+	"repro/internal/timing"
+)
+
+// Config parameterizes the flows. The zero value is completed by
+// defaults().
+type Config struct {
+	// Lib is the domino cell library (default domino.DefaultLibrary).
+	Lib *domino.Library
+	// InputProb is the signal probability applied to every primary input
+	// (the paper's tables use 0.5).
+	InputProb float64
+	// SimVectors is the Monte-Carlo cycle count for final measurement
+	// (default 4096).
+	SimVectors int
+	// SimSeed drives the measurement vectors.
+	SimSeed int64
+	// EstOpts selects the probability engine for the optimization loop.
+	EstOpts power.Options
+	// MaxPairs caps the MinPower candidate pair set (0 = all pairs).
+	MaxPairs int
+	// ExhaustiveLimit is the output count up to which MinArea searches
+	// exhaustively (default 12).
+	ExhaustiveLimit int
+	// Timing is the delay model for the timed flow (default
+	// timing.DefaultParams).
+	Timing *timing.Params
+	// Slack scales the Table 2 clock target over the fastest achievable
+	// minimum-area implementation (default 1.10).
+	Slack float64
+	// Resynthesize enables collapse-and-refactor before phase
+	// assignment: outputs with support up to MaxCollapseSupport are
+	// rebuilt from factored irredundant covers (internal/sop).
+	Resynthesize bool
+	// MaxCollapseSupport bounds the resynthesis collapse (default 14).
+	MaxCollapseSupport int
+}
+
+func (c *Config) defaults() {
+	if c.Lib == nil {
+		lib := domino.DefaultLibrary()
+		c.Lib = &lib
+	}
+	if c.InputProb == 0 {
+		c.InputProb = 0.5
+	}
+	if c.SimVectors == 0 {
+		c.SimVectors = 4096
+	}
+	if c.ExhaustiveLimit == 0 {
+		c.ExhaustiveLimit = 12
+	}
+	if c.Timing == nil {
+		p := timing.DefaultParams()
+		c.Timing = &p
+	}
+	if c.Slack == 0 {
+		c.Slack = 1.25
+	}
+	if c.MaxCollapseSupport == 0 {
+		c.MaxCollapseSupport = 14
+	}
+}
+
+// Synthesis is one synthesized implementation (MA or MP) with its
+// measurements.
+type Synthesis struct {
+	Assignment phase.Assignment
+	Block      *domino.Block
+	// Size is the standard-cell count (domino cells + boundary
+	// inverters), the paper's "Size" column.
+	Size int
+	// EstPower is the model estimate used during optimization.
+	EstPower float64
+	// SimPower is the Monte-Carlo measured power (the paper's "Pwr"
+	// column, in switched-capacitance units).
+	SimPower float64
+	// Critical is the post-flow critical delay; ResizeSteps and
+	// MetTiming are populated by the timed flow.
+	Critical    float64
+	ResizeSteps int
+	MetTiming   bool
+}
+
+// Row is one benchmark's result pair, mirroring a row of Table 1/2.
+type Row struct {
+	Name, Desc string
+	PIs, POs   int
+	MA, MP     Synthesis
+	// AreaPenaltyPct and PowerSavingPct are the paper's "% Area Pen."
+	// and "% Pwr Sav." columns computed from the measured values.
+	AreaPenaltyPct float64
+	PowerSavingPct float64
+	// Paper*: the original paper's numbers for side-by-side reporting.
+	PaperAreaPenaltyPct float64
+	PaperPowerSavingPct float64
+}
+
+// Prepare runs technology-independent cleanup and XOR decomposition,
+// returning a phase-ready network.
+func Prepare(net *logic.Network) *logic.Network {
+	n := net.Optimize()
+	if n.CountKind(logic.KindXor) > 0 {
+		n = n.DecomposeXor().Optimize()
+	}
+	return n
+}
+
+// prepare applies the configured technology-independent pipeline,
+// optionally including collapse-and-refactor resynthesis.
+func prepare(net *logic.Network, cfg Config) (*logic.Network, error) {
+	n := Prepare(net)
+	if cfg.Resynthesize {
+		f, err := sop.FactorNetwork(n, cfg.MaxCollapseSupport)
+		if err != nil {
+			return nil, fmt.Errorf("flow: resynthesis: %w", err)
+		}
+		if f.CountKind(logic.KindXor) > 0 {
+			f = f.DecomposeXor().Optimize()
+		}
+		n = f
+	}
+	return n, nil
+}
+
+// uniformProbs builds the input probability vector.
+func uniformProbs(n *logic.Network, p float64) []float64 {
+	probs := make([]float64, n.NumInputs())
+	for i := range probs {
+		probs[i] = p
+	}
+	return probs
+}
+
+// mapCellCountEvaluator scores a phase result by mapped cell count — the
+// MA objective.
+func mapCellCountEvaluator(lib domino.Library) phase.Evaluator {
+	return func(r *phase.Result) (float64, error) {
+		b, err := domino.Map(r, lib)
+		if err != nil {
+			return 0, err
+		}
+		return float64(b.CellCount()), nil
+	}
+}
+
+// SynthesizeMA runs the minimum-area baseline on a prepared network.
+func SynthesizeMA(net *logic.Network, cfg Config) (*Synthesis, error) {
+	cfg.defaults()
+	asg, res, _, err := phase.MinArea(net, phase.SearchOptions{
+		ExhaustiveLimit: cfg.ExhaustiveLimit,
+		Eval:            mapCellCountEvaluator(*cfg.Lib),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flow: MinArea: %w", err)
+	}
+	return finishSynthesis(asg, res, net, cfg)
+}
+
+// SynthesizeMP runs the paper's minimum-power heuristic on a prepared
+// network.
+func SynthesizeMP(net *logic.Network, cfg Config) (*Synthesis, error) {
+	cfg.defaults()
+	probs := uniformProbs(net, cfg.InputProb)
+	asg, res, est, _, err := phase.MinPower(net, phase.PowerOptions{
+		InputProbs: probs,
+		Evaluate:   power.Evaluator(*cfg.Lib, probs, cfg.EstOpts),
+		MaxPairs:   cfg.MaxPairs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("flow: MinPower: %w", err)
+	}
+	s, err := finishSynthesis(asg, res, net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.EstPower = est
+	return s, nil
+}
+
+// mapBlock maps a phase result with the configured library.
+func mapBlock(res *phase.Result, cfg Config) (*domino.Block, error) {
+	b, err := domino.Map(res, *cfg.Lib)
+	if err != nil {
+		return nil, fmt.Errorf("flow: Map: %w", err)
+	}
+	return b, nil
+}
+
+func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network, cfg Config) (*Synthesis, error) {
+	b, err := mapBlock(res, cfg)
+	if err != nil {
+		return nil, err
+	}
+	probs := uniformProbs(net, cfg.InputProb)
+	est, err := power.Estimate(b, probs, cfg.EstOpts)
+	if err != nil {
+		return nil, fmt.Errorf("flow: Estimate: %w", err)
+	}
+	rep, err := sim.Run(b, sim.Config{Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs})
+	if err != nil {
+		return nil, fmt.Errorf("flow: sim: %w", err)
+	}
+	a := timing.Analyze(b, *cfg.Timing)
+	return &Synthesis{
+		Assignment: asg,
+		Block:      b,
+		Size:       b.CellCount(),
+		EstPower:   est.Total,
+		SimPower:   rep.Total,
+		Critical:   a.Critical,
+		MetTiming:  true,
+	}, nil
+}
+
+// RunCircuit executes the untimed (Table 1) flow on one benchmark.
+func RunCircuit(c gen.NamedCircuit, cfg Config) (*Row, error) {
+	cfg.defaults()
+	net, err := prepare(c.Net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ma, err := SynthesizeMA(net, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	mp, err := SynthesizeMP(net, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	return assembleRow(c, ma, mp), nil
+}
+
+// RunCircuitTimed executes the Table 2 flow: both syntheses are resized
+// to a shared clock target derived from the fastest achievable
+// minimum-area implementation times the configured slack.
+func RunCircuitTimed(c gen.NamedCircuit, cfg Config) (*Row, error) {
+	cfg.defaults()
+	net, err := prepare(c.Net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ma, err := SynthesizeMA(net, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	mp, err := SynthesizeMP(net, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name, err)
+	}
+
+	// Derive a realistic, feasible target: the fastest the MA circuit
+	// can be driven, relaxed by the slack factor.
+	maRes, err := phase.Apply(net, ma.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := domino.Map(maRes, *cfg.Lib)
+	if err != nil {
+		return nil, err
+	}
+	best, _ := timing.Tighten(probe, *cfg.Timing)
+	target := timing.TargetFromBaseline(best.Critical, cfg.Slack)
+
+	probs := uniformProbs(net, cfg.InputProb)
+	resizeAndMeasure := func(s *Synthesis) error {
+		a, steps, err := timing.Resize(s.Block, *cfg.Timing, target)
+		s.Critical = a.Critical
+		s.ResizeSteps = steps
+		s.MetTiming = err == nil
+		rep, simErr := sim.Run(s.Block, sim.Config{Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs})
+		if simErr != nil {
+			return simErr
+		}
+		s.SimPower = rep.Total
+		est, estErr := power.Estimate(s.Block, probs, cfg.EstOpts)
+		if estErr != nil {
+			return estErr
+		}
+		s.EstPower = est.Total
+		// The timed flow reports *sized area* rather than cell count:
+		// resizing changes transistor widths, and the area cost of
+		// meeting timing is the quantity Table 2's Size column tracks.
+		s.Size = int(math.Round(s.Block.Area()))
+		return nil
+	}
+	if err := resizeAndMeasure(ma); err != nil {
+		return nil, fmt.Errorf("%s: MA resize: %w", c.Name, err)
+	}
+	if err := resizeAndMeasure(mp); err != nil {
+		return nil, fmt.Errorf("%s: MP resize: %w", c.Name, err)
+	}
+	return assembleRow(c, ma, mp), nil
+}
+
+func assembleRow(c gen.NamedCircuit, ma, mp *Synthesis) *Row {
+	row := &Row{
+		Name: c.Name, Desc: c.Desc,
+		PIs: c.Net.NumInputs(), POs: c.Net.NumOutputs(),
+		MA: *ma, MP: *mp,
+		PaperAreaPenaltyPct: c.PaperAreaPen,
+		PaperPowerSavingPct: c.PaperPwrSav,
+	}
+	if ma.Size > 0 {
+		row.AreaPenaltyPct = 100 * float64(mp.Size-ma.Size) / float64(ma.Size)
+	}
+	if ma.SimPower > 0 {
+		row.PowerSavingPct = 100 * (ma.SimPower - mp.SimPower) / ma.SimPower
+	}
+	return row
+}
+
+// RunTable1 regenerates Table 1 (untimed flow, PI probability 0.5) over
+// the seven benchmark twins.
+func RunTable1(cfg Config) ([]*Row, error) {
+	var rows []*Row
+	for _, c := range gen.Table1Circuits() {
+		row, err := RunCircuit(c, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunTable2 regenerates Table 2 (timed flow with resizing) over the four
+// public benchmark twins.
+func RunTable2(cfg Config) ([]*Row, error) {
+	var rows []*Row
+	for _, c := range gen.Table2Circuits() {
+		row, err := RunCircuitTimed(c, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Averages returns the mean area penalty and power saving of a row set —
+// the paper's "Average" line.
+func Averages(rows []*Row) (areaPen, pwrSav float64) {
+	if len(rows) == 0 {
+		return 0, 0
+	}
+	for _, r := range rows {
+		areaPen += r.AreaPenaltyPct
+		pwrSav += r.PowerSavingPct
+	}
+	n := float64(len(rows))
+	return areaPen / n, pwrSav / n
+}

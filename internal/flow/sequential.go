@@ -1,0 +1,138 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/phase"
+	"repro/internal/power"
+	"repro/internal/seq"
+	"repro/internal/sgraph"
+	"repro/internal/sim"
+)
+
+// SequentialRow is the result of the sequential flow: the paper's full
+// Section 4.2 pipeline — enhanced-MFVS partitioning, steady-state
+// probability estimation, then MA/MP phase assignment of the resulting
+// combinational domino block.
+type SequentialRow struct {
+	Name string
+	// FFs is the flip-flop count; Cut how many the enhanced MFVS cut;
+	// PseudoInputs how many pseudo primary inputs the partition has.
+	FFs, Cut, PseudoInputs int
+	MA, MP                 Synthesis
+	AreaPenaltyPct         float64
+	PowerSavingPct         float64
+}
+
+// RunSequential executes the sequential flow on a circuit: partition with
+// the enhanced MFVS, iterate cut-flip-flop probabilities to a fixed
+// point, then run both phase assignments on the partitioned block using
+// the steady-state probabilities as block input probabilities.
+func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
+	cfg.defaults()
+
+	cut := c.Cut(sgraph.DefaultOptions())
+	part, err := c.Partition(cut)
+	if err != nil {
+		return nil, fmt.Errorf("flow: partition: %w", err)
+	}
+
+	// Steady-state probabilities of the cut flip-flops become the
+	// pseudo-input probabilities of the block.
+	inputProbs := make([]float64, c.Comb.NumInputs())
+	for _, pos := range c.RealInputs {
+		inputProbs[pos] = cfg.InputProb
+	}
+	_, nodeProbs, err := c.SteadyStateProbs(seq.SteadyOptions{InputProbs: inputProbs, Cut: cut})
+	if err != nil {
+		return nil, fmt.Errorf("flow: steady state: %w", err)
+	}
+	blockProbs := make([]float64, part.Block.NumInputs())
+	for pos, in := range part.Inputs {
+		if in.FF >= 0 {
+			name := "ns_" + c.FFs[in.FF].Name
+			oi := part.Block.OutputByName(name)
+			if oi >= 0 {
+				blockProbs[pos] = nodeProbs[part.Block.Outputs()[oi].Driver]
+			} else {
+				blockProbs[pos] = 0.5
+			}
+		} else {
+			blockProbs[pos] = cfg.InputProb
+		}
+	}
+
+	net := Prepare(part.Block)
+	// Prepare preserves the input interface (inputs are never dropped),
+	// so blockProbs stays aligned.
+	row := &SequentialRow{
+		Name:         c.Comb.Name,
+		FFs:          len(c.FFs),
+		Cut:          len(cut),
+		PseudoInputs: part.PseudoInputCount(),
+	}
+
+	synth := func(objective string) (*Synthesis, error) {
+		var asg phase.Assignment
+		var res *phase.Result
+		var err error
+		switch objective {
+		case "area":
+			asg, res, _, err = phase.MinArea(net, phase.SearchOptions{
+				ExhaustiveLimit: cfg.ExhaustiveLimit,
+				Eval:            mapCellCountEvaluator(*cfg.Lib),
+			})
+		case "power":
+			asg, res, _, _, err = phase.MinPower(net, phase.PowerOptions{
+				InputProbs: blockProbs,
+				Evaluate:   power.Evaluator(*cfg.Lib, blockProbs, cfg.EstOpts),
+				MaxPairs:   cfg.MaxPairs,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return finishSynthesisProbs(asg, res, blockProbs, cfg)
+	}
+	ma, err := synth("area")
+	if err != nil {
+		return nil, fmt.Errorf("flow: sequential MA: %w", err)
+	}
+	mp, err := synth("power")
+	if err != nil {
+		return nil, fmt.Errorf("flow: sequential MP: %w", err)
+	}
+	row.MA, row.MP = *ma, *mp
+	if ma.Size > 0 {
+		row.AreaPenaltyPct = 100 * float64(mp.Size-ma.Size) / float64(ma.Size)
+	}
+	if ma.SimPower > 0 {
+		row.PowerSavingPct = 100 * (ma.SimPower - mp.SimPower) / ma.SimPower
+	}
+	return row, nil
+}
+
+// finishSynthesisProbs is finishSynthesis with explicit per-input
+// probabilities (the sequential flow's pseudo-inputs are not uniform).
+func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float64, cfg Config) (*Synthesis, error) {
+	b, err := mapBlock(res, cfg)
+	if err != nil {
+		return nil, err
+	}
+	est, err := power.Estimate(b, probs, cfg.EstOpts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sim.Run(b, sim.Config{Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs})
+	if err != nil {
+		return nil, err
+	}
+	return &Synthesis{
+		Assignment: asg,
+		Block:      b,
+		Size:       b.CellCount(),
+		EstPower:   est.Total,
+		SimPower:   rep.Total,
+		MetTiming:  true,
+	}, nil
+}

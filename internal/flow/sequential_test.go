@@ -1,0 +1,78 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestRunSequential(t *testing.T) {
+	c, err := gen.Sequential(gen.SeqParams{
+		Name: "seqflow", Inputs: 8, FFs: 10, Gates: 60, Seed: 17, TwinProb: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunSequential(c, Config{SimVectors: 2048})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+	if row.FFs != 10 {
+		t.Errorf("FFs = %d, want 10", row.FFs)
+	}
+	if row.Cut <= 0 || row.Cut > 10 {
+		t.Errorf("cut = %d", row.Cut)
+	}
+	if row.PseudoInputs != row.Cut {
+		t.Errorf("pseudo inputs %d != cut %d", row.PseudoInputs, row.Cut)
+	}
+	if row.MA.Size <= 0 || row.MP.Size <= 0 {
+		t.Errorf("sizes: MA %d MP %d", row.MA.Size, row.MP.Size)
+	}
+	if row.MP.Size < row.MA.Size {
+		t.Errorf("MP size %d beat MA size %d", row.MP.Size, row.MA.Size)
+	}
+	if row.MA.SimPower <= 0 || row.MP.SimPower <= 0 {
+		t.Errorf("powers: MA %v MP %v", row.MA.SimPower, row.MP.SimPower)
+	}
+	if row.MP.EstPower > row.MA.EstPower+1e-9 {
+		t.Errorf("MP estimate %v worse than MA estimate %v", row.MP.EstPower, row.MA.EstPower)
+	}
+}
+
+func TestRunSequentialDeterministic(t *testing.T) {
+	mk := func() *SequentialRow {
+		c, err := gen.Sequential(gen.SeqParams{
+			Name: "det", Inputs: 6, FFs: 8, Gates: 40, Seed: 23, TwinProb: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		row, err := RunSequential(c, Config{SimVectors: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	a, b := mk(), mk()
+	if a.MA.SimPower != b.MA.SimPower || a.MP.SimPower != b.MP.SimPower || a.Cut != b.Cut {
+		t.Error("sequential flow is not deterministic")
+	}
+}
+
+func TestRunSequentialAcyclic(t *testing.T) {
+	// A feed-forward FF pipeline: empty cut, still synthesizable.
+	c, err := gen.Sequential(gen.SeqParams{
+		Name: "ff", Inputs: 6, FFs: 5, Gates: 30, Seed: 29, TwinProb: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunSequential(c, Config{SimVectors: 512})
+	if err != nil {
+		t.Fatalf("RunSequential: %v", err)
+	}
+	if row.PseudoInputs != row.Cut {
+		t.Errorf("pseudo inputs %d != cut %d", row.PseudoInputs, row.Cut)
+	}
+}

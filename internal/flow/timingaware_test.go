@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/phase"
+)
+
+func smallOrHeavy() gen.NamedCircuit {
+	return gen.NamedCircuit{
+		Name: "orheavy", Desc: "Test",
+		Net: gen.Generate(gen.Params{Name: "orheavy", Inputs: 12, Outputs: 4, Gates: 70, Seed: 0x7A11, OrProb: 0.8}),
+	}
+}
+
+func TestRunCircuitTimingAware(t *testing.T) {
+	res, err := RunCircuitTimingAware(smallOrHeavy(), Config{SimVectors: 1024}, 0.4)
+	if err != nil {
+		t.Fatalf("RunCircuitTimingAware: %v", err)
+	}
+	if res.Plain == nil || res.Penalized == nil {
+		t.Fatal("missing rows")
+	}
+	// The penalty must not *increase* AND-cell count in the chosen MP
+	// synthesis (it taxes AND stacks; ties keep the same assignment).
+	if res.PenalizedAndCells > res.PlainAndCells {
+		t.Errorf("penalized MP has more AND cells (%d) than plain (%d)",
+			res.PenalizedAndCells, res.PlainAndCells)
+	}
+	if res.Plain.MP.SimPower <= 0 || res.Penalized.MP.SimPower <= 0 {
+		t.Error("missing measurements")
+	}
+}
+
+func TestRunCircuitTimingAwareRejectsZeroPenalty(t *testing.T) {
+	if _, err := RunCircuitTimingAware(smallOrHeavy(), Config{SimVectors: 256}, 0); err == nil {
+		t.Error("accepted zero penalty")
+	}
+}
+
+func TestCriticalOfAssignment(t *testing.T) {
+	c := smallOrHeavy()
+	net := Prepare(c.Net)
+	d, err := CriticalOfAssignment(c, phase.AllPositive(net.NumOutputs()), Config{})
+	if err != nil {
+		t.Fatalf("CriticalOfAssignment: %v", err)
+	}
+	if d <= 0 {
+		t.Errorf("critical = %v", d)
+	}
+}
+
+func TestPenalizedEvaluatorTaxesAnds(t *testing.T) {
+	c := smallOrHeavy()
+	net := Prepare(c.Net)
+	probs := uniformProbs(net, 0.5)
+	cfg := Config{}
+	cfg.defaults()
+	plain := PenalizedEvaluator(cfg, 1e-9, probs)
+	taxed := PenalizedEvaluator(cfg, 0.5, probs)
+	// An all-negative assignment of an OR-heavy circuit is AND-heavy; the
+	// taxed evaluator must score it strictly worse.
+	asg := make(phase.Assignment, net.NumOutputs())
+	for i := range asg {
+		asg[i] = true
+	}
+	res, err := phase.Apply(net, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := plain(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := taxed(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 <= p0 {
+		t.Errorf("taxed evaluator (%v) not above plain (%v) on AND-heavy block", p1, p0)
+	}
+}

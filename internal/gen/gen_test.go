@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/sgraph"
+)
+
+func TestGenerateInterface(t *testing.T) {
+	n := Generate(Params{Name: "t", Inputs: 10, Outputs: 5, Gates: 50, Seed: 1})
+	if n.NumInputs() != 10 {
+		t.Errorf("inputs = %d, want 10", n.NumInputs())
+	}
+	if n.NumOutputs() != 5 {
+		t.Errorf("outputs = %d, want 5", n.NumOutputs())
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if n.GateCount() == 0 {
+		t.Error("no gates generated")
+	}
+	if !n.HasInverters() {
+		t.Error("generator should leave inverters for phase assignment to remove")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Name: "d", Inputs: 20, Outputs: 8, Gates: 100, Seed: 7})
+	b := Generate(Params{Name: "d", Inputs: 20, Outputs: 8, Gates: 100, Seed: 7})
+	if a.String() != b.String() {
+		t.Error("same seed produced different networks")
+	}
+	c := Generate(Params{Name: "d", Inputs: 20, Outputs: 8, Gates: 100, Seed: 8})
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical networks")
+	}
+}
+
+func TestTable1CircuitInterfaces(t *testing.T) {
+	for _, c := range Table1Circuits() {
+		if c.Net.NumInputs() != c.PaperPIs {
+			t.Errorf("%s: inputs = %d, paper says %d", c.Name, c.Net.NumInputs(), c.PaperPIs)
+		}
+		if c.Net.NumOutputs() != c.PaperPOs {
+			t.Errorf("%s: outputs = %d, paper says %d", c.Name, c.Net.NumOutputs(), c.PaperPOs)
+		}
+		if err := c.Net.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", c.Name, err)
+		}
+		if c.Net.CountKind(logic.KindXor) != 0 {
+			t.Errorf("%s: generator must not emit XOR (phase assignment requires AND/OR/NOT)", c.Name)
+		}
+	}
+}
+
+func TestTable1PaperNumbersPresent(t *testing.T) {
+	cs := Table1Circuits()
+	if len(cs) != 7 {
+		t.Fatalf("Table 1 has %d circuits, want 7", len(cs))
+	}
+	// Spot-check the frg1 row against the paper.
+	frg1 := cs[4]
+	if frg1.Name != "frg1" || frg1.PaperMASize != 98 || frg1.PaperPwrSav != 34.1 || frg1.PaperAreaPen != 48.0 {
+		t.Errorf("frg1 paper row wrong: %+v", frg1)
+	}
+	// Industry 2 is the paper's one negative-savings row.
+	if cs[1].PaperPwrSav >= 0 {
+		t.Error("Industry 2 must carry the paper's negative savings")
+	}
+}
+
+func TestTable2PaperNumbers(t *testing.T) {
+	cs := Table2Circuits()
+	if len(cs) != 4 {
+		t.Fatalf("Table 2 has %d circuits, want 4", len(cs))
+	}
+	// x3's Table 2 row: MP smaller than MA (negative area penalty).
+	x3 := cs[3]
+	if x3.Name != "x3" || x3.PaperAreaPen != -20.0 || x3.PaperPwrSav != 62.0 {
+		t.Errorf("x3 Table 2 row wrong: %+v", x3)
+	}
+}
+
+func TestGeneratedConesOverlap(t *testing.T) {
+	// The phase heuristic's pair interactions only matter when output
+	// cones overlap; the generator must produce overlapping cones.
+	n := Frg1().Net
+	cones := n.OutputCones()
+	anyOverlap := false
+	for i := 0; i < len(cones); i++ {
+		for j := i + 1; j < len(cones); j++ {
+			if logic.ConeOverlap(cones[i], cones[j]) > 0 {
+				anyOverlap = true
+			}
+		}
+	}
+	if !anyOverlap {
+		t.Error("frg1 twin has disjoint output cones; phase interactions would be trivial")
+	}
+}
+
+func TestSequentialGenerator(t *testing.T) {
+	c, err := Sequential(SeqParams{Name: "s", Inputs: 8, FFs: 12, Gates: 60, Seed: 5})
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	if len(c.FFs) != 12 {
+		t.Fatalf("FFs = %d, want 12", len(c.FFs))
+	}
+	if err := c.Comb.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	g := c.SGraph()
+	if g.NumAlive() != 12 {
+		t.Errorf("s-graph vertices = %d, want 12", g.NumAlive())
+	}
+	cut := c.Cut(sgraph.DefaultOptions())
+	if !g.IsFeedbackSet(cut) {
+		t.Error("generated circuit's cut is not a feedback set")
+	}
+	if _, err := c.Partition(cut); err != nil {
+		t.Errorf("Partition with MFVS cut failed: %v", err)
+	}
+}
+
+func TestSequentialTwinsCreateSymmetry(t *testing.T) {
+	// With high TwinProb the s-graph should contain mergeable vertices.
+	c, err := Sequential(SeqParams{Name: "tw", Inputs: 6, FFs: 16, Gates: 40, Seed: 9, TwinProb: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.SGraph()
+	merges := g.Clone().Symmetrize()
+	if merges == 0 {
+		t.Error("twin-heavy sequential circuit produced no symmetric supervertices")
+	}
+}
+
+func BenchmarkGenerateIndustry1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Industry1()
+	}
+}

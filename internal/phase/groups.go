@@ -1,0 +1,211 @@
+package phase
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/prob"
+)
+
+// The paper notes (Section 4.1) that the pairwise cost function K "can be
+// extended to capture a greater degree of interaction between phase
+// assignments by extending the definition of the cost function K to more
+// than a pair of outputs", degenerating to greedily-ordered exhaustive
+// search when the group is the whole output set. MinPowerGroups
+// implements that extension for arbitrary group sizes:
+//
+//	K(group, mask) = Σ_i |D_i|·A_i± + 0.5·Σ_{i<j} O(i,j)·(A_i± + A_j±)
+//
+// where bit k of mask selects inverting group[k]'s current phase and A±
+// follows Property 4.1.
+
+// GroupStep records one iteration of the grouped heuristic.
+type GroupStep struct {
+	Outputs   []int
+	Mask      uint32 // bit k set = invert Outputs[k]
+	K         float64
+	Power     float64
+	Committed bool
+}
+
+// MinPowerGroups runs the grouped variant of the minimum-power heuristic.
+// groupSize 2 reproduces MinPower's search space; larger sizes explore
+// joint flips at combinatorial cost (C(outputs, size) groups, 2^size
+// combos each).
+func MinPowerGroups(n *logic.Network, opts PowerOptions, groupSize int) (Assignment, *Result, float64, []GroupStep, error) {
+	if groupSize < 2 {
+		return nil, nil, 0, nil, fmt.Errorf("phase: group size must be >= 2")
+	}
+	if len(opts.InputProbs) != n.NumInputs() {
+		return nil, nil, 0, nil, fmt.Errorf("phase: %d input probs for %d inputs", len(opts.InputProbs), n.NumInputs())
+	}
+	if opts.Evaluate == nil {
+		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate is required")
+	}
+	probFn := opts.Probs
+	if probFn == nil {
+		probFn = func(block *logic.Network, in []float64) ([]float64, error) {
+			return prob.Approximate(block, in), nil
+		}
+	}
+	k := n.NumOutputs()
+	if groupSize > k {
+		groupSize = k
+	}
+	current := opts.Initial.Clone()
+	if current == nil {
+		current = AllPositive(k)
+	}
+	res, err := Apply(n, current)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	power, err := opts.Evaluate(res)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	var trace []GroupStep
+	if k < 2 {
+		return current, res, power, trace, nil
+	}
+
+	groups := combinations(k, groupSize)
+	remaining := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		remaining[groupKey(g)] = true
+	}
+
+	type cand struct {
+		group []int
+		mask  uint32
+		k     float64
+	}
+	rank := func() ([]cand, error) {
+		stats, err := blockConeStats(res, opts.InputProbs, probFn)
+		if err != nil {
+			return nil, err
+		}
+		var cands []cand
+		for _, g := range groups {
+			if !remaining[groupKey(g)] {
+				continue
+			}
+			for mask := uint32(0); mask < 1<<uint(len(g)); mask++ {
+				cands = append(cands, cand{g, mask, groupCost(stats, g, mask)})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].k != cands[b].k {
+				return cands[a].k < cands[b].k
+			}
+			ka, kb := groupKey(cands[a].group), groupKey(cands[b].group)
+			if ka != kb {
+				return ka < kb
+			}
+			return cands[a].mask < cands[b].mask
+		})
+		return cands, nil
+	}
+
+	cands, err := rank()
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	pos := 0
+	for len(remaining) > 0 {
+		for pos < len(cands) && !remaining[groupKey(cands[pos].group)] {
+			pos++
+		}
+		if pos >= len(cands) {
+			break
+		}
+		c := cands[pos]
+		delete(remaining, groupKey(c.group))
+		step := GroupStep{Outputs: c.group, Mask: c.mask, K: c.k}
+		if c.mask == 0 {
+			step.Power = power
+			trace = append(trace, step)
+			continue
+		}
+		candidate := current.Clone()
+		for bit, oi := range c.group {
+			if c.mask&(1<<uint(bit)) != 0 {
+				candidate[oi] = !candidate[oi]
+			}
+		}
+		cRes, err := Apply(n, candidate)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		cPower, err := opts.Evaluate(cRes)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		step.Power = cPower
+		if cPower < power {
+			step.Committed = true
+			current, res, power = candidate, cRes, cPower
+			cands, err = rank()
+			if err != nil {
+				return nil, nil, 0, nil, err
+			}
+			pos = 0
+		}
+		trace = append(trace, step)
+	}
+	return current, res, power, trace, nil
+}
+
+// groupCost evaluates the generalized K for a group under a flip mask.
+func groupCost(st *coneStats, group []int, mask uint32) float64 {
+	a := make([]float64, len(group))
+	total := 0.0
+	for bit, oi := range group {
+		ai := st.avg[oi]
+		if mask&(1<<uint(bit)) != 0 {
+			ai = 1 - ai
+		}
+		a[bit] = ai
+		total += float64(st.size[oi]) * ai
+	}
+	for x := 0; x < len(group); x++ {
+		for y := x + 1; y < len(group); y++ {
+			total += 0.5 * st.o(group[x], group[y]) * (a[x] + a[y])
+		}
+	}
+	return total
+}
+
+// combinations enumerates all size-g subsets of 0..n-1 in lexicographic
+// order.
+func combinations(n, g int) [][]int {
+	var out [][]int
+	idx := make([]int, g)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, append([]int(nil), idx...))
+		// Advance.
+		i := g - 1
+		for i >= 0 && idx[i] == n-g+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < g; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func groupKey(g []int) string {
+	b := make([]byte, 0, len(g)*3)
+	for _, v := range g {
+		b = append(b, byte(v>>8), byte(v), ',')
+	}
+	return string(b)
+}

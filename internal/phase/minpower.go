@@ -1,0 +1,322 @@
+package phase
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/prob"
+)
+
+// Combo identifies one of the four phase combinations the paper's cost
+// function K ranks for an output pair (Section 4.1). Following the
+// paper's notation, '+' means retaining the output's current phase and
+// '-' means inverting it — not absolute polarity.
+type Combo uint8
+
+// The four pair combinations.
+const (
+	RetainRetain Combo = iota // K(i+, j+)
+	RetainInvert              // K(i+, j-)
+	InvertRetain              // K(i-, j+)
+	InvertInvert              // K(i-, j-)
+)
+
+// String renders the combo in the paper's notation.
+func (c Combo) String() string {
+	switch c {
+	case RetainRetain:
+		return "(i+,j+)"
+	case RetainInvert:
+		return "(i+,j-)"
+	case InvertRetain:
+		return "(i-,j+)"
+	case InvertInvert:
+		return "(i-,j-)"
+	}
+	return "(?)"
+}
+
+// Step records one iteration of the MinPower heuristic for reporting and
+// tests.
+type Step struct {
+	I, J      int   // output indexes of the pair tried
+	Combo     Combo // chosen combination
+	K         float64
+	Power     float64 // measured power of the candidate synthesis
+	Committed bool
+}
+
+// ProbFn computes per-node signal probabilities of a block network given
+// its input probabilities. The default is prob.Approximate; flows wanting
+// exactness pass a BDD-based closure.
+type ProbFn func(block *logic.Network, blockInputProbs []float64) ([]float64, error)
+
+// PowerOptions configures MinPower.
+type PowerOptions struct {
+	// InputProbs gives the signal probability of each original primary
+	// input (by position). Required.
+	InputProbs []float64
+	// Evaluate measures the power of a candidate synthesis. Required.
+	Evaluate Evaluator
+	// Initial is the starting assignment (default all-positive).
+	Initial Assignment
+	// Probs computes block node probabilities for the cost function
+	// (default prob.Approximate).
+	Probs ProbFn
+	// MaxPairs bounds the candidate pair set for very wide interfaces; 0
+	// means all pairs. When bounded, pairs with the largest cone overlap
+	// are kept, since those are the ones whose phase interaction matters.
+	MaxPairs int
+}
+
+// MinPower runs the paper's power-driven phase assignment heuristic:
+//
+//  1. start from an arbitrary assignment;
+//  2. for every candidate output pair compute the cost K of the four
+//     phase combinations from cone sizes |D|, average cone probabilities
+//     A (flipped per Property 4.1 for the inverted options) and the
+//     overlap penalty O(i,j);
+//  3. synthesize the minimum-cost combination and measure its power;
+//  4. commit if power decreased, and in either case retire the pair;
+//  5. repeat until no candidate pairs remain.
+//
+// It returns the final assignment, its synthesis, its measured power and
+// the step trace.
+func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64, []Step, error) {
+	if len(opts.InputProbs) != n.NumInputs() {
+		return nil, nil, 0, nil, fmt.Errorf("phase: %d input probs for %d inputs", len(opts.InputProbs), n.NumInputs())
+	}
+	if opts.Evaluate == nil {
+		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate is required")
+	}
+	probFn := opts.Probs
+	if probFn == nil {
+		probFn = func(block *logic.Network, in []float64) ([]float64, error) {
+			return prob.Approximate(block, in), nil
+		}
+	}
+	k := n.NumOutputs()
+	current := opts.Initial.Clone()
+	if current == nil {
+		current = AllPositive(k)
+	}
+	if len(current) != k {
+		return nil, nil, 0, nil, fmt.Errorf("phase: initial assignment length %d, want %d", len(current), k)
+	}
+	res, err := Apply(n, current)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	power, err := opts.Evaluate(res)
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	var trace []Step
+	if k < 2 {
+		return current, res, power, trace, nil
+	}
+
+	type pairKey struct{ i, j int }
+	remaining := make(map[pairKey]bool)
+	if opts.MaxPairs > 0 {
+		for _, pk := range topOverlapPairs(res.Block, opts.MaxPairs) {
+			remaining[pairKey{pk[0], pk[1]}] = true
+		}
+	} else {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				remaining[pairKey{i, j}] = true
+			}
+		}
+	}
+
+	// ranked lists pair/combo candidates for the *current* synthesis in
+	// ascending K; recomputed after every commit (an uncommitted trial
+	// leaves the circuit, hence every K, unchanged).
+	type cand struct {
+		i, j  int
+		combo Combo
+		k     float64
+	}
+	rank := func() ([]cand, error) {
+		stats, err := blockConeStats(res, opts.InputProbs, probFn)
+		if err != nil {
+			return nil, err
+		}
+		cands := make([]cand, 0, len(remaining))
+		for pk := range remaining {
+			for combo := RetainRetain; combo <= InvertInvert; combo++ {
+				cands = append(cands, cand{pk.i, pk.j, combo, stats.k(pk.i, pk.j, combo)})
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].k != cands[b].k {
+				return cands[a].k < cands[b].k
+			}
+			// Deterministic tie-break.
+			if cands[a].i != cands[b].i {
+				return cands[a].i < cands[b].i
+			}
+			if cands[a].j != cands[b].j {
+				return cands[a].j < cands[b].j
+			}
+			return cands[a].combo < cands[b].combo
+		})
+		return cands, nil
+	}
+
+	cands, err := rank()
+	if err != nil {
+		return nil, nil, 0, nil, err
+	}
+	pos := 0
+	for len(remaining) > 0 {
+		// Find the best-ranked candidate whose pair is still live.
+		for pos < len(cands) && !remaining[pairKey{cands[pos].i, cands[pos].j}] {
+			pos++
+		}
+		if pos >= len(cands) {
+			break
+		}
+		c := cands[pos]
+		delete(remaining, pairKey{c.i, c.j})
+
+		candidate := current.Clone()
+		if c.combo == InvertRetain || c.combo == InvertInvert {
+			candidate[c.i] = !candidate[c.i]
+		}
+		if c.combo == RetainInvert || c.combo == InvertInvert {
+			candidate[c.j] = !candidate[c.j]
+		}
+		step := Step{I: c.i, J: c.j, Combo: c.combo, K: c.k}
+		if c.combo == RetainRetain {
+			// Retaining both phases is a no-op synthesis; it can never
+			// strictly decrease power, so record and move on.
+			step.Power = power
+			trace = append(trace, step)
+			continue
+		}
+		cRes, err := Apply(n, candidate)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		cPower, err := opts.Evaluate(cRes)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		step.Power = cPower
+		if cPower < power {
+			step.Committed = true
+			current, res, power = candidate, cRes, cPower
+			// The circuit changed: probabilities, cones and overlaps are
+			// stale. Re-rank the surviving pairs.
+			cands, err = rank()
+			if err != nil {
+				return nil, nil, 0, nil, err
+			}
+			pos = 0
+		}
+		trace = append(trace, step)
+	}
+	return current, res, power, trace, nil
+}
+
+// coneStats caches per-output cone metrics of one synthesized block and
+// evaluates the paper's cost function
+//
+//	K(i±, j±) = |Di|·Ai± + |Dj|·Aj± + 0.5·O(i,j)·(Ai± + Aj±)
+//
+// where A+ = A (retain) and A− = 1−A (invert, by Property 4.1).
+type coneStats struct {
+	size    []int       // |Di| per output
+	avg     []float64   // Ai per output
+	cones   [][]bool    // Di membership per output
+	overlap [][]float64 // O(i,j), computed lazily
+}
+
+func blockConeStats(res *Result, inputProbs []float64, probFn ProbFn) (*coneStats, error) {
+	block := res.Block
+	probs, err := probFn(block, res.BlockInputProbs(inputProbs))
+	if err != nil {
+		return nil, err
+	}
+	nOut := block.NumOutputs()
+	st := &coneStats{
+		size:  make([]int, nOut),
+		avg:   make([]float64, nOut),
+		cones: block.OutputCones(),
+	}
+	for i, cone := range st.cones {
+		sum, cnt := 0.0, 0
+		for id, in := range cone {
+			if in {
+				sum += probs[id]
+				cnt++
+			}
+		}
+		st.size[i] = cnt
+		if cnt > 0 {
+			st.avg[i] = sum / float64(cnt)
+		}
+	}
+	st.overlap = make([][]float64, nOut)
+	return st, nil
+}
+
+func (st *coneStats) o(i, j int) float64 {
+	if st.overlap[i] == nil {
+		st.overlap[i] = make([]float64, len(st.size))
+		for k := range st.overlap[i] {
+			st.overlap[i][k] = -1
+		}
+	}
+	if st.overlap[i][j] < 0 {
+		st.overlap[i][j] = logic.ConeOverlap(st.cones[i], st.cones[j])
+	}
+	return st.overlap[i][j]
+}
+
+func (st *coneStats) k(i, j int, combo Combo) float64 {
+	ai, aj := st.avg[i], st.avg[j]
+	if combo == InvertRetain || combo == InvertInvert {
+		ai = 1 - ai
+	}
+	if combo == RetainInvert || combo == InvertInvert {
+		aj = 1 - aj
+	}
+	return float64(st.size[i])*ai + float64(st.size[j])*aj + 0.5*st.o(i, j)*(ai+aj)
+}
+
+// topOverlapPairs returns up to max output index pairs with the largest
+// cone overlap in the given block.
+func topOverlapPairs(block *logic.Network, max int) [][2]int {
+	cones := block.OutputCones()
+	type scored struct {
+		p [2]int
+		o float64
+	}
+	var all []scored
+	for i := 0; i < len(cones); i++ {
+		for j := i + 1; j < len(cones); j++ {
+			all = append(all, scored{[2]int{i, j}, logic.ConeOverlap(cones[i], cones[j])})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].o != all[b].o {
+			return all[a].o > all[b].o
+		}
+		if all[a].p[0] != all[b].p[0] {
+			return all[a].p[0] < all[b].p[0]
+		}
+		return all[a].p[1] < all[b].p[1]
+	})
+	if len(all) > max {
+		all = all[:max]
+	}
+	out := make([][2]int, len(all))
+	for i, s := range all {
+		out[i] = s.p
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package phase
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// Evaluator scores a synthesized block; lower is better. MinArea uses a
+// cell-count evaluator, MinPower a power estimate.
+type Evaluator func(*Result) (float64, error)
+
+// AreaEvaluator scores a result by block gate count plus boundary
+// inverters — the standard-cell count proxy used for the "MA" baseline.
+func AreaEvaluator(r *Result) (float64, error) {
+	return float64(r.Block.GateCount() + r.InputInverterCount() + r.OutputInverterCount()), nil
+}
+
+// Exhaustive tries every one of the 2^k phase assignments (k = number of
+// outputs, at most 20) and returns the best assignment under eval,
+// together with its Result and score.
+func Exhaustive(n *logic.Network, eval Evaluator) (Assignment, *Result, float64, error) {
+	k := n.NumOutputs()
+	if k > 20 {
+		return nil, nil, 0, fmt.Errorf("phase: exhaustive search over %d outputs is infeasible", k)
+	}
+	var bestAsg Assignment
+	var bestRes *Result
+	best := 0.0
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		asg := make(Assignment, k)
+		for i := 0; i < k; i++ {
+			asg[i] = mask&(1<<uint(i)) != 0
+		}
+		res, err := Apply(n, asg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		score, err := eval(res)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if bestRes == nil || score < best {
+			best, bestRes, bestAsg = score, res, asg
+		}
+	}
+	return bestAsg, bestRes, best, nil
+}
+
+// SearchOptions configures MinArea's search.
+type SearchOptions struct {
+	// ExhaustiveLimit: exhaustive search is used when the output count is
+	// at most this (default 12).
+	ExhaustiveLimit int
+	// Restarts is the number of random restarts for the greedy descent
+	// used beyond the exhaustive limit (default 3, plus the all-positive
+	// start).
+	Restarts int
+	// Seed drives the random restarts.
+	Seed int64
+	// Eval overrides the objective (default AreaEvaluator).
+	Eval Evaluator
+}
+
+func (o *SearchOptions) defaults() {
+	if o.ExhaustiveLimit == 0 {
+		o.ExhaustiveLimit = 12
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if o.Eval == nil {
+		o.Eval = AreaEvaluator
+	}
+}
+
+// MinArea finds a phase assignment minimizing cell count, the baseline
+// "MA" flow of the paper (Puri et al. [15] report an exact algorithm; we
+// use exhaustive search where feasible — it is exact — and greedy descent
+// with restarts beyond that).
+func MinArea(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
+	opts.defaults()
+	if n.NumOutputs() <= opts.ExhaustiveLimit {
+		return Exhaustive(n, opts.Eval)
+	}
+	return greedyDescent(n, opts)
+}
+
+// greedyDescent performs first-improvement hill climbing over single
+// output flips, restarted from random assignments.
+func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	k := n.NumOutputs()
+
+	descend := func(asg Assignment) (Assignment, *Result, float64, error) {
+		res, err := Apply(n, asg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		score, err := opts.Eval(res)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		improved := true
+		for improved {
+			improved = false
+			for i := 0; i < k; i++ {
+				asg[i] = !asg[i]
+				cand, err := Apply(n, asg)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				cScore, err := opts.Eval(cand)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if cScore < score {
+					score, res = cScore, cand
+					improved = true
+				} else {
+					asg[i] = !asg[i] // revert
+				}
+			}
+		}
+		return asg, res, score, nil
+	}
+
+	bestAsg, bestRes, best, err := descend(AllPositive(k))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	for restart := 0; restart < opts.Restarts; restart++ {
+		asg := make(Assignment, k)
+		for i := range asg {
+			asg[i] = rng.Intn(2) == 1
+		}
+		cAsg, cRes, cScore, err := descend(asg)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		if cScore < best {
+			bestAsg, bestRes, best = cAsg, cRes, cScore
+		}
+	}
+	return bestAsg, bestRes, best, nil
+}

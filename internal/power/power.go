@@ -1,0 +1,227 @@
+// Package power estimates the power of a mapped domino block with the
+// paper's model (Section 4.2):
+//
+//	P = Σ_i S_i · C_i · (1 + P_i)
+//
+// where S_i is the switching probability of cell i (equal to its signal
+// probability for domino gates, Property 2.1), C_i its output load and
+// P_i the gate-type penalty (zero in the paper's experiments, so the
+// objective degenerates to weighted switching activity). Boundary static
+// inverters are accounted with the static models of internal/prob.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/domino"
+	"repro/internal/order"
+	"repro/internal/phase"
+	"repro/internal/prob"
+)
+
+// Method selects the signal-probability engine.
+type Method int
+
+// Probability engines.
+const (
+	// Auto uses Exact up to AutoExactInputLimit block inputs, then
+	// Approximate.
+	Auto Method = iota
+	// Exact computes probabilities on BDDs built with the paper's
+	// reverse-topological variable order.
+	Exact
+	// Approximate uses correlation-free propagation.
+	Approximate
+	// LimitedDepth uses bounded reconvergence analysis (Costa et al. [6])
+	// with Options.Depth and Options.MaxFrontier.
+	LimitedDepth
+)
+
+// AutoExactInputLimit is the input-count threshold above which Auto
+// falls back to approximate probabilities.
+const AutoExactInputLimit = 24
+
+// Options configures estimation.
+type Options struct {
+	Method Method
+	// Order overrides the BDD variable order for Exact: a permutation of
+	// the *original* primary-input variables (nil = the paper's
+	// reverse-topological heuristic mapped onto them).
+	Order []int
+	// Depth and MaxFrontier parameterize LimitedDepth (defaults 4 and
+	// 16).
+	Depth       int
+	MaxFrontier int
+}
+
+// Report breaks down the estimated power of a block.
+type Report struct {
+	// Domino is the Σ S·C·(1+P) over domino cells.
+	Domino float64
+	// InputInverters and OutputInverters cover the boundary static
+	// inverters.
+	InputInverters  float64
+	OutputInverters float64
+	// Total is the sum of the three components.
+	Total float64
+	// PerCell holds each domino cell's contribution, parallel to
+	// Block.Cells.
+	PerCell []float64
+	// NodeProbs holds the signal probability of every Block.Net node.
+	NodeProbs []float64
+	// ExactProbs reports whether NodeProbs came from the exact engine.
+	ExactProbs bool
+}
+
+// Estimate computes the power report of a mapped block given the original
+// primary-input probabilities (indexed by original input position).
+func Estimate(b *domino.Block, inputProbs []float64, opts Options) (*Report, error) {
+	net := b.Net
+	blockProbs := b.Phase.BlockInputProbs(inputProbs)
+	if len(blockProbs) != net.NumInputs() {
+		return nil, fmt.Errorf("power: block input mismatch: %d probs, %d inputs", len(blockProbs), net.NumInputs())
+	}
+	numVars := len(inputProbs)
+	exact := opts.Method == Exact || (opts.Method == Auto && numVars <= AutoExactInputLimit)
+	var nodeProbs []float64
+	if exact {
+		// Build BDDs over the *original* primary inputs: block input
+		// rails carrying a complemented signal become complemented
+		// literals of the same variable, so the shared-variable
+		// correlation between a signal and its inverted rail is exact.
+		lits := make([]bdd.InputLit, len(b.Phase.Inputs))
+		for pos, bi := range b.Phase.Inputs {
+			lits[pos] = bdd.InputLit{Var: bi.InputPos, Neg: bi.Inverted}
+		}
+		ord := opts.Order
+		if ord == nil {
+			ord = mapOrderToVars(order.ReverseTopological(net), lits, numVars)
+		}
+		var err error
+		nodeProbs, err = prob.ExactLits(net, numVars, lits, inputProbs, ord)
+		if err != nil {
+			return nil, err
+		}
+	} else if opts.Method == LimitedDepth {
+		depth := opts.Depth
+		if depth <= 0 {
+			depth = 4
+		}
+		nodeProbs = prob.LimitedDepth(net, blockProbs, depth, opts.MaxFrontier)
+	} else {
+		nodeProbs = prob.Approximate(net, blockProbs)
+	}
+
+	rep := &Report{
+		PerCell:    make([]float64, len(b.Cells)),
+		NodeProbs:  nodeProbs,
+		ExactProbs: exact,
+	}
+	for ci := range b.Cells {
+		cell := &b.Cells[ci]
+		s := prob.DominoSwitching(nodeProbs[cell.Node])
+		p := s * cell.Load * (1 + cell.Penalty)
+		rep.PerCell[ci] = p
+		rep.Domino += p
+	}
+	loads := b.NodeLoads()
+	for pos, id := range net.Inputs() {
+		bi := b.Phase.Inputs[pos]
+		if !bi.Inverted {
+			continue
+		}
+		s := prob.BoundaryInputInverterSwitching(inputProbs[bi.InputPos])
+		rep.InputInverters += s * loads[id]
+	}
+	lib := b.Library()
+	for i, bo := range b.Phase.Outputs {
+		if !bo.Negated {
+			continue
+		}
+		driver := net.Outputs()[i].Driver
+		s := prob.BoundaryOutputInverterSwitching(nodeProbs[driver])
+		rep.OutputInverters += s * lib.OutputCap
+	}
+	rep.Total = rep.Domino + rep.InputInverters + rep.OutputInverters
+	return rep, nil
+}
+
+// mapOrderToVars converts a block-input-position order into an order over
+// the shared original-input variables: variables are ranked by the first
+// appearance of any of their rails in the input order, and variables with
+// no rail in the block are appended.
+func mapOrderToVars(inputOrder []int, lits []bdd.InputLit, numVars int) []int {
+	seen := make([]bool, numVars)
+	out := make([]int, 0, numVars)
+	for _, pos := range inputOrder {
+		v := lits[pos].Var
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for v := 0; v < numVars; v++ {
+		if !seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Evaluator adapts Estimate into a phase.Evaluator: it maps each
+// candidate synthesis with the given library and scores it by estimated
+// total power. This is the objective the MinPower loop minimizes.
+func Evaluator(lib domino.Library, inputProbs []float64, opts Options) phase.Evaluator {
+	return func(r *phase.Result) (float64, error) {
+		b, err := domino.Map(r, lib)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := Estimate(b, inputProbs, opts)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total, nil
+	}
+}
+
+// SwitchingOnly computes the unweighted total switching of a block (all
+// loads and penalties treated as 1) — the Figure 5 metric. It shares the
+// probability engine selection with Estimate.
+func SwitchingOnly(b *domino.Block, inputProbs []float64, opts Options) (float64, error) {
+	rep, err := Estimate(b, inputProbs, opts)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for ci := range b.Cells {
+		total += prob.DominoSwitching(rep.NodeProbs[b.Cells[ci].Node])
+	}
+	for pos := range b.Net.Inputs() {
+		bi := b.Phase.Inputs[pos]
+		if bi.Inverted {
+			total += prob.BoundaryInputInverterSwitching(inputProbs[bi.InputPos])
+		}
+	}
+	for i, bo := range b.Phase.Outputs {
+		if bo.Negated {
+			total += prob.BoundaryOutputInverterSwitching(rep.NodeProbs[b.Net.Outputs()[i].Driver])
+		}
+	}
+	return total, nil
+}
+
+// CellSwitching returns the switching probability of each domino cell,
+// parallel to Block.Cells, using the requested engine.
+func CellSwitching(b *domino.Block, inputProbs []float64, opts Options) ([]float64, error) {
+	rep, err := Estimate(b, inputProbs, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(b.Cells))
+	for ci := range b.Cells {
+		out[ci] = prob.DominoSwitching(rep.NodeProbs[b.Cells[ci].Node])
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+// Package report renders flow results in the layout of the paper's
+// tables, with the paper's own numbers alongside for comparison.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flow"
+)
+
+// Table renders rows in the paper's column layout. title is printed as a
+// caption; the average line mirrors the paper's.
+func Table(title string, rows []*flow.Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %-14s %5s %5s | %6s %9s | %6s %9s | %10s %10s | %10s %10s\n",
+		"Ckt", "Desc.", "#PIs", "#POs", "MA sz", "MA pwr", "MP sz", "MP pwr",
+		"%AreaPen", "%PwrSav", "paper%AP", "paper%PS")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 132))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-14s %5d %5d | %6d %9.2f | %6d %9.2f | %10.1f %10.1f | %10.1f %10.1f\n",
+			r.Name, r.Desc, r.PIs, r.POs,
+			r.MA.Size, r.MA.SimPower,
+			r.MP.Size, r.MP.SimPower,
+			r.AreaPenaltyPct, r.PowerSavingPct,
+			r.PaperAreaPenaltyPct, r.PaperPowerSavingPct)
+	}
+	areaPen, pwrSav := flow.Averages(rows)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 132))
+	fmt.Fprintf(&b, "%-12s %-14s %5s %5s | %6s %9s | %6s %9s | %10.1f %10.1f |\n",
+		"Average", "", "", "", "", "", "", "", areaPen, pwrSav)
+	return b.String()
+}
+
+// CSV renders rows as comma-separated values with a header, for
+// downstream plotting.
+func CSV(rows []*flow.Row) string {
+	var b strings.Builder
+	b.WriteString("name,desc,pis,pos,ma_size,ma_power,mp_size,mp_power,area_penalty_pct,power_saving_pct,paper_area_penalty_pct,paper_power_saving_pct,ma_critical,mp_critical,mp_met_timing\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.4f,%d,%.4f,%.2f,%.2f,%.2f,%.2f,%.3f,%.3f,%v\n",
+			r.Name, r.Desc, r.PIs, r.POs,
+			r.MA.Size, r.MA.SimPower, r.MP.Size, r.MP.SimPower,
+			r.AreaPenaltyPct, r.PowerSavingPct,
+			r.PaperAreaPenaltyPct, r.PaperPowerSavingPct,
+			r.MA.Critical, r.MP.Critical, r.MP.MetTiming)
+	}
+	return b.String()
+}
+
+// Curve renders (p, S) samples as a two-column table, used for the
+// Figure 2 reproduction.
+func Curve(title string, ps, ss []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%8s %10s\n", title, "p", "S")
+	for i := range ps {
+		fmt.Fprintf(&b, "%8.3f %10.4f\n", ps[i], ss[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+// Package sim is the measurement back-end of the reproduction: a
+// Monte-Carlo gate-level power simulator standing in for the EPIC
+// PowerMill runs of the paper's Section 5.
+//
+// The paper measures power by simulating statistically generated input
+// vectors with the appropriate signal probabilities. We do the same:
+// vectors are drawn as independent Bernoullis per primary input, each
+// cycle is a precharge/evaluate pair, and transitions are counted with
+// domino semantics — a domino cell transitions exactly when its output
+// evaluates to 1 (Property 2.1) and never glitches (Property 2.2), so a
+// zero-delay sweep per cycle is exact for the block. Boundary static
+// inverters toggle on input value changes (input side) or together with
+// their driving domino output (output side).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/domino"
+	"repro/internal/logic"
+	"repro/internal/stats"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Vectors is the number of evaluate cycles (default 4096).
+	Vectors int
+	// Seed drives the vector generator.
+	Seed int64
+	// InputProbs gives the Bernoulli probability of each original
+	// primary input. Required.
+	InputProbs []float64
+}
+
+// Report summarizes measured activity. Power figures are in switched-
+// capacitance units per cycle (load-weighted transition counts divided by
+// cycles), directly comparable to power.Estimate's model values.
+type Report struct {
+	Cycles int
+	// Transition counts (unweighted).
+	DominoTransitions    int64
+	InputInvTransitions  int64
+	OutputInvTransitions int64
+	// Load- and penalty-weighted per-cycle power.
+	DominoPower    float64
+	InputInvPower  float64
+	OutputInvPower float64
+	Total          float64
+	// TotalCI is the 95% confidence interval of Total over cycles —
+	// Monte-Carlo numbers come with error bars.
+	TotalCI stats.Interval
+	// PerCellFreq is each domino cell's measured switching frequency
+	// (transitions per cycle), parallel to Block.Cells.
+	PerCellFreq []float64
+}
+
+// Run simulates the mapped block for cfg.Vectors cycles and returns the
+// measured activity.
+func Run(b *domino.Block, cfg Config) (*Report, error) {
+	net := b.Net
+	if len(cfg.InputProbs) != len(b.Phase.Original.Inputs()) {
+		return nil, fmt.Errorf("sim: %d input probs for %d original inputs",
+			len(cfg.InputProbs), len(b.Phase.Original.Inputs()))
+	}
+	vectors := cfg.Vectors
+	if vectors <= 0 {
+		vectors = 4096
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	numOrigIn := len(cfg.InputProbs)
+	origVals := make([]bool, numOrigIn)
+	blockVals := make([]bool, net.NumInputs())
+	prevBlockVals := make([]bool, net.NumInputs())
+	havePrev := false
+
+	scratch := make([]bool, net.NumNodes())
+	loads := b.NodeLoads()
+	lib := b.Library()
+
+	cellTrans := make([]int64, len(b.Cells))
+	rep := &Report{Cycles: vectors, PerCellFreq: make([]float64, len(b.Cells))}
+	var perCycle stats.Running
+
+	inputNodeOf := net.Inputs()
+	for cycle := 0; cycle < vectors; cycle++ {
+		cyclePower := 0.0
+		for i := range origVals {
+			origVals[i] = rng.Float64() < cfg.InputProbs[i]
+		}
+		for pos, bi := range b.Phase.Inputs {
+			v := origVals[bi.InputPos]
+			if bi.Inverted {
+				v = !v
+			}
+			blockVals[pos] = v
+		}
+		values := net.Eval(blockVals, scratch)
+
+		// Domino cells: one transition pair per evaluate-high cycle.
+		for ci := range b.Cells {
+			cell := &b.Cells[ci]
+			if values[cell.Node] {
+				cellTrans[ci]++
+				w := cell.Load * (1 + cell.Penalty)
+				rep.DominoPower += w
+				cyclePower += w
+			}
+		}
+		// Input-boundary inverters: static gates, toggle on change.
+		if havePrev {
+			for pos, bi := range b.Phase.Inputs {
+				if !bi.Inverted {
+					continue
+				}
+				if blockVals[pos] != prevBlockVals[pos] {
+					rep.InputInvTransitions++
+					rep.InputInvPower += loads[inputNodeOf[pos]]
+					cyclePower += loads[inputNodeOf[pos]]
+				}
+			}
+		}
+		// Output-boundary inverters: driven by domino outputs, they
+		// switch whenever the driver evaluates high (and precharges).
+		for i, bo := range b.Phase.Outputs {
+			if !bo.Negated {
+				continue
+			}
+			if values[net.Outputs()[i].Driver] {
+				rep.OutputInvTransitions++
+				rep.OutputInvPower += lib.OutputCap
+				cyclePower += lib.OutputCap
+			}
+		}
+		copy(prevBlockVals, blockVals)
+		havePrev = true
+		perCycle.Add(cyclePower)
+	}
+
+	for ci, t := range cellTrans {
+		rep.DominoTransitions += t
+		rep.PerCellFreq[ci] = float64(t) / float64(vectors)
+	}
+	inv := 1.0 / float64(vectors)
+	rep.DominoPower *= inv
+	rep.InputInvPower *= inv
+	rep.OutputInvPower *= inv
+	rep.Total = rep.DominoPower + rep.InputInvPower + rep.OutputInvPower
+	rep.TotalCI = perCycle.Confidence(stats.Z95)
+	return rep, nil
+}
+
+// StaticGlitches simulates a combinational network as *static* CMOS under
+// a unit-delay model for a sequence of random vector pairs and returns
+// (totalTransitions, glitchTransitions): transitions beyond the first per
+// node per cycle are glitches. Domino blocks, by Property 2.2, never
+// glitch; this function exists to demonstrate the contrast (and is used
+// by the Figure 2 discussion in EXPERIMENTS.md).
+func StaticGlitches(net *logic.Network, inputProbs []float64, vectors int, seed int64) (total, glitches int64, err error) {
+	if len(inputProbs) != net.NumInputs() {
+		return 0, 0, fmt.Errorf("sim: %d input probs for %d inputs", len(inputProbs), net.NumInputs())
+	}
+	if vectors <= 0 {
+		vectors = 1024
+	}
+	rng := rand.New(rand.NewSource(seed))
+	numNodes := net.NumNodes()
+	cur := make([]bool, numNodes)
+	next := make([]bool, numNodes)
+	inVals := make([]bool, net.NumInputs())
+	transitions := make([]int, numNodes)
+
+	// Settle the initial vector.
+	for i := range inVals {
+		inVals[i] = rng.Float64() < inputProbs[i]
+	}
+	settled := net.Eval(inVals, cur)
+	copy(cur, settled)
+
+	step := func() bool {
+		changed := false
+		for i := 0; i < numNodes; i++ {
+			id := logic.NodeID(i)
+			node := net.Node(id)
+			var v bool
+			switch node.Kind {
+			case logic.KindInput:
+				v = cur[i]
+			case logic.KindConst0:
+				v = false
+			case logic.KindConst1:
+				v = true
+			case logic.KindBuf:
+				v = cur[node.Fanins[0]]
+			case logic.KindNot:
+				v = !cur[node.Fanins[0]]
+			case logic.KindAnd:
+				v = true
+				for _, f := range node.Fanins {
+					v = v && cur[f]
+				}
+			case logic.KindOr:
+				v = false
+				for _, f := range node.Fanins {
+					v = v || cur[f]
+				}
+			case logic.KindXor:
+				v = false
+				for _, f := range node.Fanins {
+					v = v != cur[f]
+				}
+			}
+			next[i] = v
+			if v != cur[i] {
+				changed = true
+				transitions[i]++
+			}
+		}
+		cur, next = next, cur
+		return changed
+	}
+
+	inputPos := make(map[logic.NodeID]int, net.NumInputs())
+	for pos, id := range net.Inputs() {
+		inputPos[id] = pos
+	}
+	depth := net.Depth() + 2
+	for cycle := 0; cycle < vectors; cycle++ {
+		for i := range transitions {
+			transitions[i] = 0
+		}
+		// New input vector applied at once; gates update with unit delay.
+		for i := range inVals {
+			inVals[i] = rng.Float64() < inputProbs[i]
+		}
+		for id, pos := range inputPos {
+			cur[id] = inVals[pos]
+		}
+		for step() {
+			// A combinational network under unit delay settles within
+			// its depth; guard against miscounted loops anyway.
+			depth--
+			if depth < -10_000_000 {
+				return 0, 0, fmt.Errorf("sim: static simulation did not settle")
+			}
+		}
+		depth = net.Depth() + 2
+		for i := 0; i < numNodes; i++ {
+			if net.Kind(logic.NodeID(i)).IsGate() {
+				t := int64(transitions[i])
+				total += t
+				if t > 1 {
+					glitches += t - 1
+				}
+			}
+		}
+	}
+	return total, glitches, nil
+}

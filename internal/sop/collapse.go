@@ -1,0 +1,113 @@
+package sop
+
+import (
+	"repro/internal/bdd"
+	"repro/internal/logic"
+)
+
+// CollapseNetwork rebuilds every output whose support is at most
+// maxSupport from its minimized irredundant cover, keeping larger cones
+// structurally intact. It is the collapse/refactor pass of technology-
+// independent synthesis: redundant multi-level structure inside small
+// cones is replaced by clean two-level logic, which the phase assigner
+// and domino mapper then re-decompose.
+func CollapseNetwork(n *logic.Network, maxSupport int) (*logic.Network, error) {
+	nb, err := bdd.BuildNetwork(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := nb.Manager
+
+	out := logic.New(n.Name)
+	inIDs := make([]logic.NodeID, n.NumInputs())
+	for pos, id := range n.Inputs() {
+		inIDs[pos] = out.AddInput(n.Node(id).Name)
+	}
+	// Copier for outputs kept structural.
+	remap := make([]logic.NodeID, n.NumNodes())
+	for i := range remap {
+		remap[i] = logic.InvalidNode
+	}
+	for pos, id := range n.Inputs() {
+		remap[id] = inIDs[pos]
+	}
+	var copyRec func(id logic.NodeID) logic.NodeID
+	copyRec = func(id logic.NodeID) logic.NodeID {
+		if remap[id] != logic.InvalidNode {
+			return remap[id]
+		}
+		node := n.Node(id)
+		var res logic.NodeID
+		switch node.Kind {
+		case logic.KindConst0:
+			res = out.AddConst(false)
+		case logic.KindConst1:
+			res = out.AddConst(true)
+		default:
+			fs := make([]logic.NodeID, len(node.Fanins))
+			for i, f := range node.Fanins {
+				fs[i] = copyRec(f)
+			}
+			res = out.AddGate(node.Kind, fs...)
+		}
+		remap[id] = res
+		return res
+	}
+
+	invCache := make(map[int]logic.NodeID)
+	inv := func(v int) logic.NodeID {
+		if id, ok := invCache[v]; ok {
+			return id
+		}
+		id := out.AddNot(inIDs[v])
+		invCache[v] = id
+		return id
+	}
+
+	for _, o := range n.Outputs() {
+		f := nb.NodeRefs[o.Driver]
+		sup := m.Support(f)
+		if len(sup) > maxSupport {
+			out.MarkOutput(o.Name, copyRec(o.Driver))
+			continue
+		}
+		cover := FromBDD(m, f)
+		cover.Minimize()
+		var driver logic.NodeID
+		switch {
+		case f == bdd.False:
+			driver = out.AddConst(false)
+		case f == bdd.True:
+			driver = out.AddConst(true)
+		default:
+			var cubes []logic.NodeID
+			for _, cube := range cover.Cubes {
+				var lits []logic.NodeID
+				for v := 0; v < cover.NumVars; v++ {
+					switch cube.Literal(v) {
+					case Pos:
+						lits = append(lits, inIDs[v])
+					case Neg:
+						lits = append(lits, inv(v))
+					}
+				}
+				switch len(lits) {
+				case 0:
+					lits = append(lits, out.AddConst(true))
+					cubes = append(cubes, lits[0])
+				case 1:
+					cubes = append(cubes, lits[0])
+				default:
+					cubes = append(cubes, out.AddAnd(lits...))
+				}
+			}
+			if len(cubes) == 1 {
+				driver = cubes[0]
+			} else {
+				driver = out.AddOr(cubes...)
+			}
+		}
+		out.MarkOutput(o.Name, driver)
+	}
+	return out.Optimize(), nil
+}

@@ -1,0 +1,69 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/verify"
+)
+
+func TestCollapseNetworkPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		n := gen.Generate(gen.Params{
+			Name: "cn", Inputs: 8 + rng.Intn(8), Outputs: 2 + rng.Intn(4),
+			Gates: 30 + rng.Intn(60), Seed: int64(trial), OrProb: 0.6,
+		})
+		c, err := CollapseNetwork(n, 10)
+		if err != nil {
+			t.Fatalf("trial %d: CollapseNetwork: %v", trial, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid: %v", trial, err)
+		}
+		if err := verify.Check(n, c); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCollapseNetworkKeepsBigCones(t *testing.T) {
+	// With maxSupport 0 nothing collapses; the result is a structural
+	// copy (post-Optimize).
+	n := gen.Generate(gen.Params{Name: "keep", Inputs: 10, Outputs: 3, Gates: 40, Seed: 9})
+	c, err := CollapseNetwork(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(n, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollapseNetworkRemovesRedundancy(t *testing.T) {
+	// Build a network with heavy redundancy in a small cone: the
+	// consensus-laden function from the irredundancy test, duplicated.
+	n := logic.New("redund")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	ab := n.AddAnd(a, b)
+	nac := n.AddAnd(n.AddNot(a), c)
+	cons := n.AddAnd(b, c)
+	f := n.AddOr(ab, nac, cons)
+	g := n.AddOr(n.AddAnd(a, b), n.AddAnd(b, n.AddBuf(a))) // = ab duplicated
+	n.MarkOutput("f", f)
+	n.MarkOutput("g", g)
+	col, err := CollapseNetwork(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Check(n, col); err != nil {
+		t.Fatal(err)
+	}
+	if col.GateCount() >= n.GateCount() {
+		t.Errorf("collapse did not shrink: %d -> %d", n.GateCount(), col.GateCount())
+	}
+}

@@ -1,0 +1,125 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/verify"
+)
+
+func TestFactorIntoSimple(t *testing.T) {
+	// ab + ac factors as a(b + c): 2 gates instead of 3.
+	c := NewCover(3)
+	c.Add(cubeFromString(t, "11-"))
+	c.Add(cubeFromString(t, "1-1"))
+	n := logic.New("fct")
+	ins := []logic.NodeID{n.AddInput("a"), n.AddInput("b"), n.AddInput("c")}
+	root, err := FactorInto(c, n, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.MarkOutput("f", root)
+	if got := n.GateCount(); got != 2 {
+		t.Errorf("factored gate count = %d, want 2 (a·(b+c))\n%s", got, n)
+	}
+	for mask := 0; mask < 8; mask++ {
+		asg := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		if n.EvalOutputs(asg)[0] != c.Eval(asg) {
+			t.Fatalf("factor changed function at %v", asg)
+		}
+	}
+}
+
+func TestFactorIntoEdgeCases(t *testing.T) {
+	n := logic.New("edge")
+	ins := []logic.NodeID{n.AddInput("a")}
+	empty := NewCover(1)
+	r, err := FactorInto(empty, n, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind(r) != logic.KindConst0 {
+		t.Error("empty cover must factor to constant 0")
+	}
+	taut := NewCover(1)
+	taut.Add(NewCube(1))
+	r2, err := FactorInto(taut, n, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind(r2) != logic.KindConst1 {
+		t.Error("tautology must factor to constant 1")
+	}
+}
+
+func TestFactorPreservesFunctionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 100; trial++ {
+		vars := 3 + rng.Intn(5)
+		c := NewCover(vars)
+		for k := 0; k < 1+rng.Intn(12); k++ {
+			cube := NewCube(vars)
+			for v := 0; v < vars; v++ {
+				switch rng.Intn(3) {
+				case 0:
+					cube = cube.WithLiteral(v, Pos)
+				case 1:
+					cube = cube.WithLiteral(v, Neg)
+				}
+			}
+			c.Add(cube)
+		}
+		n := logic.New("p")
+		ins := make([]logic.NodeID, vars)
+		for v := range ins {
+			ins[v] = n.AddInput(inName(v))
+		}
+		root, err := FactorInto(c, n, ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.MarkOutput("f", root)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		asg := make([]bool, vars)
+		for mask := 0; mask < 1<<uint(vars); mask++ {
+			for v := 0; v < vars; v++ {
+				asg[v] = mask&(1<<uint(v)) != 0
+			}
+			if n.EvalOutputs(asg)[0] != c.Eval(asg) {
+				t.Fatalf("trial %d: factor wrong at %v", trial, asg)
+			}
+		}
+	}
+}
+
+func TestFactorNetworkPreservesAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	shrunk := 0
+	for trial := 0; trial < 10; trial++ {
+		n := gen.Generate(gen.Params{
+			Name: "fn", Inputs: 8 + rng.Intn(6), Outputs: 2 + rng.Intn(3),
+			Gates: 40 + rng.Intn(60), Seed: int64(trial * 3), OrProb: 0.6,
+		})
+		f, err := FactorNetwork(n, 12)
+		if err != nil {
+			t.Fatalf("trial %d: FactorNetwork: %v", trial, err)
+		}
+		if err := verify.Check(n, f); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if f.NumNodes() < n.NumNodes() {
+			shrunk++
+		}
+	}
+	if shrunk == 0 {
+		t.Error("resynthesis never shrank any circuit (suspicious)")
+	}
+}
+
+func inName(i int) string {
+	return "f" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10))
+}

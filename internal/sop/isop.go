@@ -1,0 +1,152 @@
+package sop
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/logic"
+)
+
+// FromBDD extracts an irredundant sum-of-products cover for the function
+// f using the Minato-Morreale ISOP algorithm. Variables of the returned
+// cover are the manager's variable indexes 0..NumVars-1.
+func FromBDD(m *bdd.Manager, f bdd.Ref) *Cover {
+	cover := NewCover(m.NumVars())
+	isop(m, f, f, NewCube(m.NumVars()), cover)
+	return cover
+}
+
+// isop computes an SOP g with L ≤ g ≤ U, accumulating cubes (prefixed by
+// the partial cube built so far) into cover, and returns the BDD of g.
+func isop(m *bdd.Manager, L, U bdd.Ref, prefix Cube, cover *Cover) bdd.Ref {
+	if L == bdd.False {
+		return bdd.False
+	}
+	if U == bdd.True {
+		cover.Add(prefix.Clone())
+		return bdd.True
+	}
+	// Top variable of L and U in the manager's order.
+	v := topSharedVar(m, L, U)
+	L0 := m.Restrict(L, v, false)
+	L1 := m.Restrict(L, v, true)
+	U0 := m.Restrict(U, v, false)
+	U1 := m.Restrict(U, v, true)
+
+	// Cubes that must contain the negative literal of v: the part of L0
+	// not coverable under U1.
+	g0 := isop(m, m.And(L0, m.Not(U1)), U0, prefix.WithLiteral(v, Neg), cover)
+	// Cubes that must contain the positive literal of v.
+	g1 := isop(m, m.And(L1, m.Not(U0)), U1, prefix.WithLiteral(v, Pos), cover)
+	// Remaining onset, coverable without mentioning v.
+	Lrem := m.Or(m.And(L0, m.Not(g0)), m.And(L1, m.Not(g1)))
+	gd := isop(m, Lrem, m.And(U0, U1), prefix, cover)
+
+	x := m.Var(v)
+	nx := m.NVar(v)
+	return m.Or(m.Or(m.And(nx, g0), m.And(x, g1)), gd)
+}
+
+// topSharedVar returns the variable with the smallest level among the
+// supports of L and U. Both are non-terminal in at least one argument by
+// the callers' checks.
+func topSharedVar(m *bdd.Manager, L, U bdd.Ref) int {
+	best := -1
+	bestLevel := m.NumVars()
+	for _, f := range []bdd.Ref{L, U} {
+		for _, v := range m.Support(f) {
+			if l := m.LevelOf(v); l < bestLevel {
+				bestLevel = l
+				best = v
+			}
+		}
+	}
+	if best < 0 {
+		panic("sop: topSharedVar on terminals")
+	}
+	return best
+}
+
+// FromNetworkOutput extracts an irredundant cover for one primary output
+// of a combinational network, over variables indexed by input position.
+func FromNetworkOutput(n *logic.Network, outputIdx int) (*Cover, error) {
+	if outputIdx < 0 || outputIdx >= n.NumOutputs() {
+		return nil, fmt.Errorf("sop: output index %d out of range", outputIdx)
+	}
+	nb, err := bdd.BuildNetwork(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	f := nb.NodeRefs[n.Outputs()[outputIdx].Driver]
+	return FromBDD(nb.Manager, f), nil
+}
+
+// ToNetwork elaborates the cover as an AND/OR/NOT network whose inputs
+// are named by the given names (length NumVars) and whose single output
+// carries outName.
+func (c *Cover) ToNetwork(name string, inputNames []string, outName string) (*logic.Network, error) {
+	if len(inputNames) != c.NumVars {
+		return nil, fmt.Errorf("sop: %d input names for %d vars", len(inputNames), c.NumVars)
+	}
+	n := logic.New(name)
+	ins := make([]logic.NodeID, c.NumVars)
+	for i, nm := range inputNames {
+		ins[i] = n.AddInput(nm)
+	}
+	if len(c.Cubes) == 0 {
+		n.MarkOutput(outName, n.AddConst(false))
+		return n, nil
+	}
+	invCache := make(map[int]logic.NodeID)
+	inv := func(v int) logic.NodeID {
+		if id, ok := invCache[v]; ok {
+			return id
+		}
+		id := n.AddNot(ins[v])
+		invCache[v] = id
+		return id
+	}
+	var cubes []logic.NodeID
+	for _, cube := range c.Cubes {
+		var lits []logic.NodeID
+		for v := 0; v < c.NumVars; v++ {
+			switch cube.Literal(v) {
+			case Pos:
+				lits = append(lits, ins[v])
+			case Neg:
+				lits = append(lits, inv(v))
+			}
+		}
+		switch len(lits) {
+		case 0:
+			cubes = append(cubes, n.AddConst(true))
+		case 1:
+			cubes = append(cubes, lits[0])
+		default:
+			cubes = append(cubes, n.AddAnd(lits...))
+		}
+	}
+	if len(cubes) == 1 {
+		n.MarkOutput(outName, cubes[0])
+	} else {
+		n.MarkOutput(outName, n.AddOr(cubes...))
+	}
+	return n, nil
+}
+
+// CollapseOutput rebuilds one output of a network from its irredundant
+// two-level cover — the collapse/refactor move of technology-independent
+// synthesis. Only sensible for outputs with modest support; callers
+// bound that.
+func CollapseOutput(n *logic.Network, outputIdx int) (*logic.Network, error) {
+	cover, err := FromNetworkOutput(n, outputIdx)
+	if err != nil {
+		return nil, err
+	}
+	cover.Minimize()
+	names := make([]string, n.NumInputs())
+	for i, id := range n.Inputs() {
+		names[i] = n.Node(id).Name
+	}
+	return cover.ToNetwork(n.Name+"_collapsed", names, n.Outputs()[outputIdx].Name)
+}

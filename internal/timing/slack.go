@@ -1,0 +1,89 @@
+package timing
+
+import (
+	"sort"
+
+	"repro/internal/domino"
+	"repro/internal/logic"
+)
+
+// SlackReport extends arrival analysis with required times and slacks
+// against a target clock — the standard STA view used to judge which
+// cells the resizer should touch and how much margin a synthesis has.
+type SlackReport struct {
+	*Analysis
+	Target float64
+	// Required is the latest allowed arrival per Net node; Slack is
+	// Required − Arrival.
+	Required []float64
+	Slack    []float64
+	// WorstSlack is the minimum slack over output drivers (negative when
+	// the target is violated).
+	WorstSlack float64
+	// CriticalCells lists cell indexes with slack below epsilon, sorted
+	// by ascending slack.
+	CriticalCells []int
+}
+
+// Slacks computes required times and slacks for the block under the
+// given target clock.
+func Slacks(b *domino.Block, p Params, target float64) *SlackReport {
+	a := Analyze(b, p)
+	net := b.Net
+	num := net.NumNodes()
+	req := make([]float64, num)
+	inf := target + 1e18
+	for i := range req {
+		req[i] = inf
+	}
+	// Outputs must arrive by target (minus the boundary inverter delay
+	// for negated outputs).
+	for oi, o := range net.Outputs() {
+		t := target
+		if b.Phase.Outputs[oi].Negated {
+			t -= p.InverterDelay
+		}
+		if t < req[o.Driver] {
+			req[o.Driver] = t
+		}
+	}
+	// Backward sweep: a driver must arrive early enough for each
+	// consumer to meet its requirement.
+	for i := num - 1; i >= 0; i-- {
+		id := logic.NodeID(i)
+		var d float64
+		if ci := b.CellOf[i]; ci >= 0 {
+			d = CellDelay(&b.Cells[ci], p)
+		}
+		for _, f := range net.Fanins(id) {
+			if r := req[i] - d; r < req[f] {
+				req[f] = r
+			}
+		}
+	}
+	rep := &SlackReport{
+		Analysis: a,
+		Target:   target,
+		Required: req,
+		Slack:    make([]float64, num),
+	}
+	rep.WorstSlack = inf
+	for i := 0; i < num; i++ {
+		rep.Slack[i] = req[i] - a.Arrival[i]
+	}
+	for _, o := range net.Outputs() {
+		if s := rep.Slack[o.Driver]; s < rep.WorstSlack {
+			rep.WorstSlack = s
+		}
+	}
+	const eps = 1e-9
+	for ci := range b.Cells {
+		if rep.Slack[b.Cells[ci].Node] <= eps {
+			rep.CriticalCells = append(rep.CriticalCells, ci)
+		}
+	}
+	sort.Slice(rep.CriticalCells, func(x, y int) bool {
+		return rep.Slack[b.Cells[rep.CriticalCells[x]].Node] < rep.Slack[b.Cells[rep.CriticalCells[y]].Node]
+	})
+	return rep
+}

@@ -1,0 +1,75 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/domino"
+	"repro/internal/logic"
+	"repro/internal/phase"
+)
+
+func TestSlacksChain(t *testing.T) {
+	b := mapChain(t, []int{2, 2, 2}, logic.KindOr)
+	p := DefaultParams()
+	a := Analyze(b, p)
+	rep := Slacks(b, p, a.Critical)
+	// At a target equal to the critical delay, the worst slack is zero
+	// and every chain cell is critical.
+	if rep.WorstSlack < -1e-9 || rep.WorstSlack > 1e-9 {
+		t.Errorf("worst slack = %v, want 0", rep.WorstSlack)
+	}
+	if len(rep.CriticalCells) != 3 {
+		t.Errorf("critical cells = %d, want 3", len(rep.CriticalCells))
+	}
+	// With a relaxed target everything has positive slack.
+	relaxed := Slacks(b, p, a.Critical+1)
+	if relaxed.WorstSlack < 1-1e-9 {
+		t.Errorf("relaxed worst slack = %v, want 1", relaxed.WorstSlack)
+	}
+	if len(relaxed.CriticalCells) != 0 {
+		t.Errorf("relaxed critical cells = %d, want 0", len(relaxed.CriticalCells))
+	}
+}
+
+func TestSlacksViolatedTarget(t *testing.T) {
+	b := mapChain(t, []int{2, 2, 2, 2}, logic.KindAnd)
+	p := DefaultParams()
+	a := Analyze(b, p)
+	rep := Slacks(b, p, a.Critical/2)
+	if rep.WorstSlack >= 0 {
+		t.Errorf("impossible target has slack %v, want negative", rep.WorstSlack)
+	}
+}
+
+func TestSlackConsistencyProperty(t *testing.T) {
+	// Arrival + slack <= target on output drivers; slack is monotone in
+	// the target.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNet(rng, 6+rng.Intn(6), 30+rng.Intn(50), 3)
+		r, err := phase.Apply(n, phase.AllPositive(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := domino.Map(r, domino.DefaultLibrary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams()
+		a := Analyze(b, p)
+		s1 := Slacks(b, p, a.Critical)
+		s2 := Slacks(b, p, a.Critical*1.5)
+		for _, o := range b.Net.Outputs() {
+			if s1.Arrival[o.Driver]+s1.Slack[o.Driver] > a.Critical+1e-9 {
+				t.Fatalf("trial %d: arrival+slack exceeds target", trial)
+			}
+			if s2.Slack[o.Driver] < s1.Slack[o.Driver] {
+				t.Fatalf("trial %d: slack not monotone in target", trial)
+			}
+		}
+		if len(s1.CriticalCells) == 0 {
+			t.Fatalf("trial %d: no critical cells at exact target", trial)
+		}
+	}
+}
