@@ -1,0 +1,34 @@
+# CI and humans invoke the same targets (see .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt benchsuite
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke pass over every benchmark: one iteration each, no tests.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+# Full batch sweep; writes results.md / results.json under ./results.
+benchsuite:
+	$(GO) run ./cmd/benchsuite -out results

@@ -65,6 +65,15 @@ type Options struct {
 	TimingTarget float64
 	// MaxPairs caps the MinPower pair set (0 = all).
 	MaxPairs int
+	// Workers bounds the worker pool used by the exhaustive phase search
+	// and the Monte-Carlo measurement (0 = GOMAXPROCS, 1 = sequential).
+	// Workers never changes results — only wall-clock.
+	Workers int
+	// SimShards splits the measurement vector budget into independently
+	// seeded streams simulated concurrently (see sim.Config.Shards).
+	// Results are a pure function of (Seed, Vectors, SimShards); 0 keeps
+	// the single-stream sequential measurement.
+	SimShards int
 }
 
 // Result bundles the synthesized implementation and its measurements.
@@ -127,6 +136,7 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 		})
 	case MinArea:
 		asg, res, _, err = phase.MinArea(prepared, phase.SearchOptions{
+			Workers: opts.Workers,
 			Eval: func(r *phase.Result) (float64, error) {
 				b, mErr := domino.Map(r, lib)
 				if mErr != nil {
@@ -136,7 +146,7 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 			},
 		})
 	case ExhaustivePower:
-		asg, res, _, err = phase.Exhaustive(prepared, power.Evaluator(lib, probs, power.Options{}))
+		asg, res, _, err = phase.ExhaustiveParallel(prepared, power.Evaluator(lib, probs, power.Options{}), opts.Workers)
 	default:
 		return nil, fmt.Errorf("core: unknown objective %d", opts.Objective)
 	}
@@ -163,7 +173,10 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := sim.Run(block, sim.Config{Vectors: opts.Vectors, Seed: opts.Seed, InputProbs: probs})
+	rep, err := sim.Run(block, sim.Config{
+		Vectors: opts.Vectors, Seed: opts.Seed, InputProbs: probs,
+		Shards: opts.SimShards, Workers: opts.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSynthesizeParallelRaceRegression drives the full pipeline with a
+// multi-worker pool on every objective. Its job is to give `go test
+// -race` something to bite on: any shared-state hazard in the parallel
+// phase search or the sharded simulator surfaces here.
+func TestSynthesizeParallelRaceRegression(t *testing.T) {
+	net := gen.Generate(gen.Params{Name: "racereg", Inputs: 12, Outputs: 6, Gates: 80, Seed: 0xACE, OrProb: 0.65})
+	for _, obj := range []Objective{MinPower, MinArea, ExhaustivePower} {
+		r, err := Synthesize(net, Options{
+			Objective: obj, Vectors: 2048, Workers: 8, SimShards: 8,
+		})
+		if err != nil {
+			t.Fatalf("objective %d: %v", obj, err)
+		}
+		if r.Cells <= 0 || r.MeasuredPower <= 0 {
+			t.Errorf("objective %d: cells %d, measured %v", obj, r.Cells, r.MeasuredPower)
+		}
+	}
+}
+
+// TestSynthesizeWorkersInvariant pins the determinism contract at the top
+// of the stack: for a fixed (Seed, Vectors, SimShards), the Workers knob
+// must not change a single field of the result.
+func TestSynthesizeWorkersInvariant(t *testing.T) {
+	net := gen.Generate(gen.Params{Name: "detreg", Inputs: 10, Outputs: 5, Gates: 60, Seed: 0xDEE, OrProb: 0.6})
+	for _, obj := range []Objective{MinArea, ExhaustivePower} {
+		var want *Result
+		for _, workers := range []int{1, 2, 8} {
+			r, err := Synthesize(net, Options{
+				Objective: obj, Vectors: 1024, Seed: 3, Workers: workers, SimShards: 4,
+			})
+			if err != nil {
+				t.Fatalf("objective %d workers=%d: %v", obj, workers, err)
+			}
+			if want == nil {
+				want = r
+				continue
+			}
+			if !reflect.DeepEqual(r.Assignment, want.Assignment) {
+				t.Errorf("objective %d workers=%d: assignment %s != %s", obj, workers, r.Assignment, want.Assignment)
+			}
+			if r.MeasuredPower != want.MeasuredPower || r.EstimatedPower != want.EstimatedPower ||
+				r.Cells != want.Cells || r.Area != want.Area {
+				t.Errorf("objective %d workers=%d: measurements drifted: %+v vs %+v", obj, workers, r, want)
+			}
+		}
+	}
+}

@@ -58,6 +58,14 @@ type Config struct {
 	Resynthesize bool
 	// MaxCollapseSupport bounds the resynthesis collapse (default 14).
 	MaxCollapseSupport int
+	// Workers bounds the worker pool of the exhaustive phase search and
+	// the Monte-Carlo measurement (0 = GOMAXPROCS, 1 = sequential). It
+	// never changes results.
+	Workers int
+	// SimShards splits the measurement vectors into independently seeded
+	// concurrent streams (see sim.Config.Shards); 0 keeps the
+	// single-stream measurement.
+	SimShards int
 }
 
 func (c *Config) defaults() {
@@ -174,6 +182,7 @@ func SynthesizeMA(net *logic.Network, cfg Config) (*Synthesis, error) {
 	asg, res, _, err := phase.MinArea(net, phase.SearchOptions{
 		ExhaustiveLimit: cfg.ExhaustiveLimit,
 		Eval:            mapCellCountEvaluator(*cfg.Lib),
+		Workers:         cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: MinArea: %w", err)
@@ -221,7 +230,10 @@ func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network
 	if err != nil {
 		return nil, fmt.Errorf("flow: Estimate: %w", err)
 	}
-	rep, err := sim.Run(b, sim.Config{Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs})
+	rep, err := sim.Run(b, sim.Config{
+		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
+		Shards: cfg.SimShards, Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: sim: %w", err)
 	}
@@ -292,7 +304,10 @@ func RunCircuitTimed(c gen.NamedCircuit, cfg Config) (*Row, error) {
 		s.Critical = a.Critical
 		s.ResizeSteps = steps
 		s.MetTiming = err == nil
-		rep, simErr := sim.Run(s.Block, sim.Config{Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs})
+		rep, simErr := sim.Run(s.Block, sim.Config{
+			Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
+			Shards: cfg.SimShards, Workers: cfg.Workers,
+		})
 		if simErr != nil {
 			return simErr
 		}

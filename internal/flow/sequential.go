@@ -81,6 +81,7 @@ func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
 			asg, res, _, err = phase.MinArea(net, phase.SearchOptions{
 				ExhaustiveLimit: cfg.ExhaustiveLimit,
 				Eval:            mapCellCountEvaluator(*cfg.Lib),
+				Workers:         cfg.Workers,
 			})
 		case "power":
 			asg, res, _, _, err = phase.MinPower(net, phase.PowerOptions{
@@ -123,7 +124,10 @@ func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float
 	if err != nil {
 		return nil, err
 	}
-	rep, err := sim.Run(b, sim.Config{Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs})
+	rep, err := sim.Run(b, sim.Config{
+		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
+		Shards: cfg.SimShards, Workers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package phase
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/logic"
+	"repro/internal/par"
 )
 
 // Evaluator scores a synthesized block; lower is better. MinArea uses a
@@ -17,35 +19,107 @@ func AreaEvaluator(r *Result) (float64, error) {
 	return float64(r.Block.GateCount() + r.InputInverterCount() + r.OutputInverterCount()), nil
 }
 
+// maskAssignment expands mask bit i into the phase of output i.
+func maskAssignment(mask, k int) Assignment {
+	asg := make(Assignment, k)
+	for i := 0; i < k; i++ {
+		asg[i] = mask&(1<<uint(i)) != 0
+	}
+	return asg
+}
+
+// candidate is one scored assignment; Mask is its position in the
+// enumeration order and the tie-break key (lowest mask wins).
+type candidate struct {
+	Mask  int
+	Asg   Assignment
+	Res   *Result
+	Score float64
+}
+
+// better reports whether c beats incumbent under the search's total
+// order: strictly lower score, or equal score at a lower mask. A nil
+// incumbent always loses.
+func (c *candidate) better(incumbent *candidate) bool {
+	if incumbent == nil {
+		return true
+	}
+	if c.Score != incumbent.Score {
+		return c.Score < incumbent.Score
+	}
+	return c.Mask < incumbent.Mask
+}
+
+// scanMasks evaluates masks [lo, hi) in ascending order and returns the
+// best candidate of the range. ctx aborts the scan between masks.
+func scanMasks(ctx context.Context, n *logic.Network, eval Evaluator, k, lo, hi int) (*candidate, error) {
+	var best *candidate
+	for mask := lo; mask < hi; mask++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		asg := maskAssignment(mask, k)
+		res, err := Apply(n, asg)
+		if err != nil {
+			return nil, err
+		}
+		score, err := eval(res)
+		if err != nil {
+			return nil, err
+		}
+		c := &candidate{Mask: mask, Asg: asg, Res: res, Score: score}
+		if c.better(best) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
 // Exhaustive tries every one of the 2^k phase assignments (k = number of
 // outputs, at most 20) and returns the best assignment under eval,
-// together with its Result and score.
+// together with its Result and score. Ties are broken toward the lowest
+// mask (the assignment earliest in enumeration order).
 func Exhaustive(n *logic.Network, eval Evaluator) (Assignment, *Result, float64, error) {
+	return ExhaustiveParallel(n, eval, 1)
+}
+
+// ExhaustiveParallel is Exhaustive with the 2^k assignment space sharded
+// across a bounded worker pool. The evaluator must be safe for concurrent
+// use on distinct Results (the stock AreaEvaluator and power.Evaluator
+// are: each call builds its own block and probability state).
+//
+// Determinism contract: the returned (assignment, score) is bit-identical
+// to Exhaustive's for every worker count — shards cover contiguous mask
+// ranges, each range scans in ascending mask order, and the per-shard
+// winners are reduced in shard order under the same "lowest mask wins on
+// equal score" rule, so scheduling can never change the outcome.
+func ExhaustiveParallel(n *logic.Network, eval Evaluator, workers int) (Assignment, *Result, float64, error) {
 	k := n.NumOutputs()
 	if k > 20 {
 		return nil, nil, 0, fmt.Errorf("phase: exhaustive search over %d outputs is infeasible", k)
 	}
-	var bestAsg Assignment
-	var bestRes *Result
-	best := 0.0
-	for mask := 0; mask < 1<<uint(k); mask++ {
-		asg := make(Assignment, k)
-		for i := 0; i < k; i++ {
-			asg[i] = mask&(1<<uint(i)) != 0
-		}
-		res, err := Apply(n, asg)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		score, err := eval(res)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		if bestRes == nil || score < best {
-			best, bestRes, bestAsg = score, res, asg
+	total := 1 << uint(k)
+	w := par.Workers(workers)
+	// Oversplit so uneven Apply/eval costs load-balance; the shard
+	// geometry affects wall-clock only, never the reduced result.
+	ranges := par.SplitRange(total, w*4)
+	bests, err := par.Map(context.Background(), len(ranges), w,
+		func(ctx context.Context, s int) (*candidate, error) {
+			return scanMasks(ctx, n, eval, k, ranges[s][0], ranges[s][1])
+		})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var best *candidate
+	for _, c := range bests {
+		if c != nil && c.better(best) {
+			best = c
 		}
 	}
-	return bestAsg, bestRes, best, nil
+	if best == nil {
+		return nil, nil, 0, fmt.Errorf("phase: exhaustive search produced no candidate")
+	}
+	return best.Asg, best.Res, best.Score, nil
 }
 
 // SearchOptions configures MinArea's search.
@@ -61,6 +135,10 @@ type SearchOptions struct {
 	Seed int64
 	// Eval overrides the objective (default AreaEvaluator).
 	Eval Evaluator
+	// Workers bounds the search's worker pool (0 = GOMAXPROCS, 1 =
+	// sequential). The result is identical for every worker count; Eval
+	// must be safe for concurrent use on distinct Results when > 1.
+	Workers int
 }
 
 func (o *SearchOptions) defaults() {
@@ -82,13 +160,18 @@ func (o *SearchOptions) defaults() {
 func MinArea(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
 	opts.defaults()
 	if n.NumOutputs() <= opts.ExhaustiveLimit {
-		return Exhaustive(n, opts.Eval)
+		return ExhaustiveParallel(n, opts.Eval, opts.Workers)
 	}
 	return greedyDescent(n, opts)
 }
 
 // greedyDescent performs first-improvement hill climbing over single
-// output flips, restarted from random assignments.
+// output flips, restarted from random assignments. The starts (the
+// all-positive assignment plus opts.Restarts random draws from the seeded
+// rng) are generated up front in a fixed order and descended concurrently
+// on the option's worker pool; the winner is reduced in start order with
+// earlier starts winning ties, so the outcome matches a sequential run of
+// the same starts exactly.
 func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	k := n.NumOutputs()
@@ -126,22 +209,34 @@ func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, f
 		return asg, res, score, nil
 	}
 
-	bestAsg, bestRes, best, err := descend(AllPositive(k))
-	if err != nil {
-		return nil, nil, 0, err
-	}
+	starts := make([]Assignment, 0, opts.Restarts+1)
+	starts = append(starts, AllPositive(k))
 	for restart := 0; restart < opts.Restarts; restart++ {
 		asg := make(Assignment, k)
 		for i := range asg {
 			asg[i] = rng.Intn(2) == 1
 		}
-		cAsg, cRes, cScore, err := descend(asg)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		if cScore < best {
-			bestAsg, bestRes, best = cAsg, cRes, cScore
+		starts = append(starts, asg)
+	}
+
+	type outcome struct {
+		asg   Assignment
+		res   *Result
+		score float64
+	}
+	outcomes, err := par.Map(context.Background(), len(starts), opts.Workers,
+		func(_ context.Context, s int) (outcome, error) {
+			asg, res, score, err := descend(starts[s])
+			return outcome{asg, res, score}, err
+		})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	best := outcomes[0]
+	for _, o := range outcomes[1:] {
+		if o.score < best.score {
+			best = o
 		}
 	}
-	return bestAsg, bestRes, best, nil
+	return best.asg, best.res, best.score, nil
 }

@@ -172,6 +172,12 @@ func mapOrderToVars(inputOrder []int, lits []bdd.InputLit, numVars int) []int {
 // Evaluator adapts Estimate into a phase.Evaluator: it maps each
 // candidate synthesis with the given library and scores it by estimated
 // total power. This is the objective the MinPower loop minimizes.
+//
+// The returned closure is safe for concurrent use on distinct Results —
+// each call maps its own block and builds its own probability state
+// (including any BDD manager), sharing only the immutable lib and
+// inputProbs — so it may be passed to phase.ExhaustiveParallel or any
+// search running with Workers > 1.
 func Evaluator(lib domino.Library, inputProbs []float64, opts Options) phase.Evaluator {
 	return func(r *phase.Result) (float64, error) {
 		b, err := domino.Map(r, lib)

@@ -14,11 +14,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/domino"
 	"repro/internal/logic"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -31,6 +33,18 @@ type Config struct {
 	// InputProbs gives the Bernoulli probability of each original
 	// primary input. Required.
 	InputProbs []float64
+	// Shards splits the vector budget into independent streams, each with
+	// its own rng seeded Seed+shard. The report is a pure function of
+	// (Vectors, Seed, Shards, InputProbs): shard sizes and the merge order
+	// are fixed by shard index, so reruns are bit-identical. 0 or 1 means
+	// a single shard, which reproduces the historical sequential run for a
+	// given Seed exactly. Each shard starts without input history, so its
+	// first cycle counts no input-inverter toggles — different shard
+	// counts are therefore distinct (equally valid) sample estimates.
+	Shards int
+	// Workers bounds the goroutines simulating shards (0 = GOMAXPROCS,
+	// 1 = sequential). Workers affects wall-clock only, never the report.
+	Workers int
 }
 
 // Report summarizes measured activity. Power figures are in switched-
@@ -55,22 +69,27 @@ type Report struct {
 	PerCellFreq []float64
 }
 
-// Run simulates the mapped block for cfg.Vectors cycles and returns the
-// measured activity.
-func Run(b *domino.Block, cfg Config) (*Report, error) {
-	net := b.Net
-	if len(cfg.InputProbs) != len(b.Phase.Original.Inputs()) {
-		return nil, fmt.Errorf("sim: %d input probs for %d original inputs",
-			len(cfg.InputProbs), len(b.Phase.Original.Inputs()))
-	}
-	vectors := cfg.Vectors
-	if vectors <= 0 {
-		vectors = 4096
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// shardResult accumulates one shard's raw (undivided) activity sums; the
+// merge step folds shards in index order and normalizes once at the end,
+// so a single shard reproduces the historical sequential arithmetic
+// exactly.
+type shardResult struct {
+	cellTrans            []int64
+	inputInvTransitions  int64
+	outputInvTransitions int64
+	dominoPowerSum       float64
+	inputInvPowerSum     float64
+	outputInvPowerSum    float64
+	perCycle             stats.Running
+}
 
-	numOrigIn := len(cfg.InputProbs)
-	origVals := make([]bool, numOrigIn)
+// runShard simulates `vectors` cycles with a dedicated rng seeded `seed`,
+// checking ctx between cycles so a sibling shard's failure aborts early.
+func runShard(ctx context.Context, b *domino.Block, cfg Config, seed int64, vectors int) (*shardResult, error) {
+	net := b.Net
+	rng := rand.New(rand.NewSource(seed))
+
+	origVals := make([]bool, len(cfg.InputProbs))
 	blockVals := make([]bool, net.NumInputs())
 	prevBlockVals := make([]bool, net.NumInputs())
 	havePrev := false
@@ -79,12 +98,15 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 	loads := b.NodeLoads()
 	lib := b.Library()
 
-	cellTrans := make([]int64, len(b.Cells))
-	rep := &Report{Cycles: vectors, PerCellFreq: make([]float64, len(b.Cells))}
-	var perCycle stats.Running
+	sr := &shardResult{cellTrans: make([]int64, len(b.Cells))}
 
 	inputNodeOf := net.Inputs()
 	for cycle := 0; cycle < vectors; cycle++ {
+		if cycle%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cyclePower := 0.0
 		for i := range origVals {
 			origVals[i] = rng.Float64() < cfg.InputProbs[i]
@@ -102,9 +124,9 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 		for ci := range b.Cells {
 			cell := &b.Cells[ci]
 			if values[cell.Node] {
-				cellTrans[ci]++
+				sr.cellTrans[ci]++
 				w := cell.Load * (1 + cell.Penalty)
-				rep.DominoPower += w
+				sr.dominoPowerSum += w
 				cyclePower += w
 			}
 		}
@@ -115,8 +137,8 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 					continue
 				}
 				if blockVals[pos] != prevBlockVals[pos] {
-					rep.InputInvTransitions++
-					rep.InputInvPower += loads[inputNodeOf[pos]]
+					sr.inputInvTransitions++
+					sr.inputInvPowerSum += loads[inputNodeOf[pos]]
 					cyclePower += loads[inputNodeOf[pos]]
 				}
 			}
@@ -128,16 +150,64 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 				continue
 			}
 			if values[net.Outputs()[i].Driver] {
-				rep.OutputInvTransitions++
-				rep.OutputInvPower += lib.OutputCap
+				sr.outputInvTransitions++
+				sr.outputInvPowerSum += lib.OutputCap
 				cyclePower += lib.OutputCap
 			}
 		}
 		copy(prevBlockVals, blockVals)
 		havePrev = true
-		perCycle.Add(cyclePower)
+		sr.perCycle.Add(cyclePower)
+	}
+	return sr, nil
+}
+
+// Run simulates the mapped block for cfg.Vectors cycles and returns the
+// measured activity. With cfg.Shards > 1 the vector budget is split into
+// contiguous shards simulated concurrently on cfg.Workers goroutines;
+// see Config for the determinism contract.
+func Run(b *domino.Block, cfg Config) (*Report, error) {
+	if len(cfg.InputProbs) != len(b.Phase.Original.Inputs()) {
+		return nil, fmt.Errorf("sim: %d input probs for %d original inputs",
+			len(cfg.InputProbs), len(b.Phase.Original.Inputs()))
+	}
+	vectors := cfg.Vectors
+	if vectors <= 0 {
+		vectors = 4096
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > vectors {
+		shards = vectors
+	}
+	ranges := par.SplitRange(vectors, shards)
+	results, err := par.Map(context.Background(), len(ranges), cfg.Workers,
+		func(ctx context.Context, s int) (*shardResult, error) {
+			return runShard(ctx, b, cfg, cfg.Seed+int64(s), ranges[s][1]-ranges[s][0])
+		})
+	if err != nil {
+		return nil, err
 	}
 
+	// Reduce in shard order: integer sums are order-free, the float sums
+	// and the Welford merge are fixed by the index order, so the reduction
+	// is reproducible at any worker count.
+	rep := &Report{Cycles: vectors, PerCellFreq: make([]float64, len(b.Cells))}
+	cellTrans := make([]int64, len(b.Cells))
+	var perCycle stats.Running
+	for _, sr := range results {
+		for ci, t := range sr.cellTrans {
+			cellTrans[ci] += t
+		}
+		rep.InputInvTransitions += sr.inputInvTransitions
+		rep.OutputInvTransitions += sr.outputInvTransitions
+		rep.DominoPower += sr.dominoPowerSum
+		rep.InputInvPower += sr.inputInvPowerSum
+		rep.OutputInvPower += sr.outputInvPowerSum
+		perCycle = stats.Merge(perCycle, sr.perCycle)
+	}
 	for ci, t := range cellTrans {
 		rep.DominoTransitions += t
 		rep.PerCellFreq[ci] = float64(t) / float64(vectors)
