@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt benchsuite
+.PHONY: all build test race bench kernelbench lint fmt benchsuite
 
 all: lint build test
 
@@ -18,6 +18,11 @@ race:
 # Short smoke pass over every benchmark: one iteration each, no tests.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Kernel benchmark smoke: scalar vs bit-parallel sim and the BDD engine,
+# persisted as BENCH_2.json (uploaded as a CI artifact).
+kernelbench:
+	$(GO) run ./cmd/benchsuite -bench-out BENCH_2.json
 
 lint:
 	$(GO) vet ./...

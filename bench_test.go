@@ -30,9 +30,11 @@ import (
 // --- Table 1 ---------------------------------------------------------
 
 func BenchmarkTable1Row(b *testing.B) {
+	b.ReportAllocs()
 	for _, c := range gen.Table1Circuits() {
 		c := c
 		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var row *flow.Row
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -51,9 +53,11 @@ func BenchmarkTable1Row(b *testing.B) {
 // --- Table 2 ---------------------------------------------------------
 
 func BenchmarkTable2Row(b *testing.B) {
+	b.ReportAllocs()
 	for _, c := range gen.Table2Circuits() {
 		c := c
 		b.Run(c.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var row *flow.Row
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -72,6 +76,7 @@ func BenchmarkTable2Row(b *testing.B) {
 // --- Figure 2: switching vs signal probability ------------------------
 
 func BenchmarkFigure2Curves(b *testing.B) {
+	b.ReportAllocs()
 	var crossover float64
 	for i := 0; i < b.N; i++ {
 		dom, sta := prob.Figure2Curves(1000)
@@ -102,6 +107,7 @@ func figure5Network() *logic.Network {
 }
 
 func BenchmarkFigure3InverterRemoval(b *testing.B) {
+	b.ReportAllocs()
 	n := figure5Network()
 	var inverterFree bool
 	for i := 0; i < b.N; i++ {
@@ -117,6 +123,7 @@ func BenchmarkFigure3InverterRemoval(b *testing.B) {
 }
 
 func BenchmarkFigure4Duplication(b *testing.B) {
+	b.ReportAllocs()
 	// Conflicting phases on shared logic: measure the duplication factor.
 	n := gen.Generate(gen.Params{Name: "dup", Inputs: 16, Outputs: 8, Gates: 120, Seed: 5, OrProb: 0.6})
 	net := flow.Prepare(n)
@@ -143,6 +150,7 @@ func BenchmarkFigure4Duplication(b *testing.B) {
 // --- Figure 5: the 75% switching reduction -----------------------------
 
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	n := figure5Network()
 	probs := prob.Uniform(n, 0.9)
 	lib := domino.DefaultLibrary()
@@ -172,6 +180,7 @@ func BenchmarkFigure5(b *testing.B) {
 // --- Figure 6: the overall paradigm loop -------------------------------
 
 func BenchmarkFigure6ParadigmLoop(b *testing.B) {
+	b.ReportAllocs()
 	// One full iteration of the Figure 6 loop on a mid-size circuit:
 	// candidate generation (K ranking), synthesis, power measurement.
 	c := gen.Apex7()
@@ -192,6 +201,7 @@ func BenchmarkFigure6ParadigmLoop(b *testing.B) {
 // --- Figure 7: partitioning quality ------------------------------------
 
 func BenchmarkFigure7Partition(b *testing.B) {
+	b.ReportAllocs()
 	c, err := gen.Sequential(gen.SeqParams{Name: "part", Inputs: 10, FFs: 20, Gates: 100, Seed: 21, TwinProb: 0.5})
 	if err != nil {
 		b.Fatal(err)
@@ -219,6 +229,7 @@ func twinHeavyGraph() *sgraph.Graph {
 }
 
 func BenchmarkFigure9MFVSEnhanced(b *testing.B) {
+	b.ReportAllocs()
 	g := twinHeavyGraph()
 	var w int
 	for i := 0; i < b.N; i++ {
@@ -228,6 +239,7 @@ func BenchmarkFigure9MFVSEnhanced(b *testing.B) {
 }
 
 func BenchmarkFigure9MFVSBaseline(b *testing.B) {
+	b.ReportAllocs()
 	g := twinHeavyGraph()
 	var w int
 	for i := 0; i < b.N; i++ {
@@ -239,6 +251,7 @@ func BenchmarkFigure9MFVSBaseline(b *testing.B) {
 // --- Figure 10: BDD variable ordering -----------------------------------
 
 func BenchmarkFigure10Ordering(b *testing.B) {
+	b.ReportAllocs()
 	n := logic.New("fig10")
 	x1 := n.AddInput("x1")
 	x2 := n.AddInput("x2")
@@ -262,6 +275,7 @@ func BenchmarkFigure10Ordering(b *testing.B) {
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var count int
 			for i := 0; i < b.N; i++ {
 				nb, err := bdd.BuildNetwork(n, c.ord)
@@ -281,6 +295,7 @@ func BenchmarkFigure10Ordering(b *testing.B) {
 // the paper's variable order versus the natural order on a benchmark
 // twin — the payoff of Section 4.2.2.
 func BenchmarkAblationOrdering(b *testing.B) {
+	b.ReportAllocs()
 	net := flow.Prepare(gen.Generate(gen.Params{Name: "abl", Inputs: 20, Outputs: 8, Gates: 260, Seed: 77, OrProb: 0.6}))
 	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))
 	if err != nil {
@@ -302,6 +317,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := power.Estimate(blk, probs, power.Options{Method: power.Exact, Order: c.ord}); err != nil {
 					b.Fatal(err)
@@ -314,6 +330,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 // BenchmarkAblationProbabilityEngine compares the exact BDD engine with
 // the approximate propagation inside the MinPower loop.
 func BenchmarkAblationProbabilityEngine(b *testing.B) {
+	b.ReportAllocs()
 	net := flow.Prepare(gen.Generate(gen.Params{Name: "abl2", Inputs: 16, Outputs: 6, Gates: 160, Seed: 78, OrProb: 0.65}))
 	probs := prob.Uniform(net, 0.5)
 	lib := domino.DefaultLibrary()
@@ -323,6 +340,7 @@ func BenchmarkAblationProbabilityEngine(b *testing.B) {
 	}{{"exact", power.Exact}, {"approximate", power.Approximate}, {"limited_depth", power.LimitedDepth}} {
 		m := m
 		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var est float64
 			for i := 0; i < b.N; i++ {
 				_, _, p, _, err := phase.MinPower(net, phase.PowerOptions{
@@ -344,6 +362,7 @@ func BenchmarkAblationProbabilityEngine(b *testing.B) {
 // objective with and without the AND-stack penalty, reporting the
 // AND-cell count of the chosen synthesis and its resize effort.
 func BenchmarkAblationPenalty(b *testing.B) {
+	b.ReportAllocs()
 	c := gen.NamedCircuit{
 		Name: "orheavy",
 		Net:  gen.Generate(gen.Params{Name: "orheavy", Inputs: 14, Outputs: 5, Gates: 90, Seed: 0x7A12, OrProb: 0.8}),
@@ -354,6 +373,7 @@ func BenchmarkAblationPenalty(b *testing.B) {
 	}{{"penalty_0", 0}, {"penalty_0.4", 0.4}} {
 		pen := pen
 		b.Run(pen.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var andCells, steps float64
 			for i := 0; i < b.N; i++ {
 				if pen.val == 0 {
@@ -390,6 +410,7 @@ func countAnd(row *flow.Row) float64 {
 
 // BenchmarkSequentialFlow runs the full Section 4.2 sequential pipeline.
 func BenchmarkSequentialFlow(b *testing.B) {
+	b.ReportAllocs()
 	c, err := gen.Sequential(gen.SeqParams{
 		Name: "seqbench", Inputs: 10, FFs: 14, Gates: 80, Seed: 41, TwinProb: 0.5,
 	})
@@ -410,6 +431,7 @@ func BenchmarkSequentialFlow(b *testing.B) {
 // BenchmarkSimulatorThroughput measures the PowerMill stand-in on a
 // Table 1-scale block (vectors/sec scale check).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	c := gen.X1()
 	net := flow.Prepare(c.Net)
 	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))
@@ -444,12 +466,14 @@ func parallelBenchNet() *logic.Network {
 // 10-output circuit. On multi-core hardware the 4-worker case is the
 // ISSUE's ≥2x wall-clock gate; results are bit-identical throughout.
 func BenchmarkExhaustiveSearch(b *testing.B) {
+	b.ReportAllocs()
 	net := parallelBenchNet()
 	probs := prob.Uniform(net, 0.5)
 	eval := power.Evaluator(domino.DefaultLibrary(), probs, power.Options{})
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			var score float64
 			for i := 0; i < b.N; i++ {
 				_, _, s, err := phase.ExhaustiveParallel(net, eval, workers)
@@ -466,6 +490,7 @@ func BenchmarkExhaustiveSearch(b *testing.B) {
 // BenchmarkShardedSim compares the single-stream simulator against the
 // sharded engine at a fixed shard count and growing worker pools.
 func BenchmarkShardedSim(b *testing.B) {
+	b.ReportAllocs()
 	net := parallelBenchNet()
 	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))
 	if err != nil {
@@ -488,6 +513,7 @@ func BenchmarkShardedSim(b *testing.B) {
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Run(blk, sim.Config{
 					Vectors: 16384, Seed: 1, InputProbs: probs,
@@ -500,8 +526,74 @@ func BenchmarkShardedSim(b *testing.B) {
 	}
 }
 
+// --- Kernel benchmarks: bit-parallel sim and map-free BDD engine -------
+
+// simKernelBlock maps the x1 benchsuite twin for the kernel comparison.
+func simKernelBlock(b *testing.B) (*domino.Block, []float64) {
+	b.Helper()
+	c := gen.X1()
+	net := flow.Prepare(c.Net)
+	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	blk, err := domino.Map(res, domino.DefaultLibrary())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return blk, prob.Uniform(net, 0.5)
+}
+
+// BenchmarkSimWideVsScalar compares the 64-lane bit-parallel kernel
+// against the scalar reference oracle on a benchsuite twin. The two
+// produce byte-identical Reports (TestWideMatchesScalarKernel); the ratio
+// of their ns/op is the ISSUE 2 throughput gate.
+func BenchmarkSimWideVsScalar(b *testing.B) {
+	b.ReportAllocs()
+	blk, probs := simKernelBlock(b)
+	for _, k := range []struct {
+		name   string
+		kernel sim.Kernel
+	}{{"scalar", sim.KernelScalar}, {"wide", sim.KernelWide}} {
+		k := k
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(blk, sim.Config{
+					Vectors: 4096, Seed: 1, InputProbs: probs, Kernel: k.kernel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBDDBuild measures the shared-forest construction behind
+// power.Estimate on a benchsuite-scale network under the paper's
+// reverse-topological order — the workload the open-addressed unique
+// table and direct-mapped memo caches are built for.
+func BenchmarkBDDBuild(b *testing.B) {
+	b.ReportAllocs()
+	net := flow.Prepare(gen.Generate(gen.Params{
+		Name: "bddbuild", Inputs: 20, Outputs: 8, Gates: 260, Seed: 77, OrProb: 0.6,
+	}))
+	ord := order.ReverseTopological(net)
+	b.ResetTimer()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		nb, err := bdd.BuildNetwork(net, ord)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = nb.Manager.NodeCount(nb.OutputRefs(net)...)
+	}
+	b.ReportMetric(float64(nodes), "bdd_nodes")
+}
+
 // BenchmarkResize measures the Table 2 resizing pass.
 func BenchmarkResize(b *testing.B) {
+	b.ReportAllocs()
 	c := gen.Apex7()
 	net := flow.Prepare(c.Net)
 	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/bdd"
+	"repro/internal/domino"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/order"
+	"repro/internal/phase"
+	"repro/internal/prob"
+	"repro/internal/sim"
+)
+
+// KernelBench is one benchmark row of BENCH_2.json: the in-process
+// equivalent of a `go test -bench` line for one kernel configuration.
+type KernelBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// KernelSuite is the persisted BENCH_2.json document, the ISSUE 2
+// before/after record: the scalar and bit-parallel simulation kernels on
+// a benchsuite twin, and the map-free BDD engine's build and probability
+// passes.
+type KernelSuite struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	// SimWideSpeedupX is scalar ns/op over wide ns/op — the ISSUE's
+	// ≥ 8× throughput gate.
+	SimWideSpeedupX float64       `json:"sim_wide_speedup_x"`
+	Benchmarks      []KernelBench `json:"benchmarks"`
+}
+
+func toBench(name string, r testing.BenchmarkResult) KernelBench {
+	return KernelBench{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runKernelBench measures both simulation kernels and the BDD engine via
+// testing.Benchmark and writes BENCH_2.json to outPath. It mirrors the
+// root BenchmarkSimWideVsScalar / BenchmarkBDDBuild setups so CI
+// artifacts and `go test -bench` lines are directly comparable.
+func runKernelBench(outPath string) error {
+	c := gen.X1()
+	net := flow.Prepare(c.Net)
+	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))
+	if err != nil {
+		return err
+	}
+	blk, err := domino.Map(res, domino.DefaultLibrary())
+	if err != nil {
+		return err
+	}
+	probs := prob.Uniform(net, 0.5)
+
+	simBench := func(kernel sim.Kernel) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(blk, sim.Config{
+					Vectors: 4096, Seed: 1, InputProbs: probs, Kernel: kernel,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	scalar := simBench(sim.KernelScalar)
+	wide := simBench(sim.KernelWide)
+
+	bddNet := flow.Prepare(gen.Generate(gen.Params{
+		Name: "bddbuild", Inputs: 20, Outputs: 8, Gates: 260, Seed: 77, OrProb: 0.6,
+	}))
+	ord := order.ReverseTopological(bddNet)
+	build := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bdd.BuildNetwork(bddNet, ord); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	nb, err := bdd.BuildNetwork(bddNet, ord)
+	if err != nil {
+		return err
+	}
+	bddProbs := prob.Uniform(bddNet, 0.5)
+	probPass := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			nb.Manager.ProbabilityMany(nb.NodeRefs, bddProbs)
+		}
+	})
+
+	suite := KernelSuite{
+		GeneratedAt: time.Now().UTC(),
+		SimWideSpeedupX: (float64(scalar.T.Nanoseconds()) / float64(scalar.N)) /
+			(float64(wide.T.Nanoseconds()) / float64(wide.N)),
+		Benchmarks: []KernelBench{
+			toBench("sim/x1/scalar", scalar),
+			toBench("sim/x1/wide", wide),
+			toBench("bdd/build", build),
+			toBench("bdd/probability", probPass),
+		},
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, kb := range suite.Benchmarks {
+		fmt.Printf("%-16s %12.0f ns/op %8d allocs/op\n", kb.Name, kb.NsPerOp, kb.AllocsPerOp)
+	}
+	fmt.Printf("sim wide speedup: %.1fx -> %s\n", suite.SimWideSpeedupX, outPath)
+	return nil
+}

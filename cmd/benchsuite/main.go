@@ -8,6 +8,11 @@
 // Results are deterministic for a fixed (-seed, -shards, -vectors)
 // triple; -workers trades wall-clock only. Exhaustive search rows are
 // skipped (and say so) beyond -exhaustive-limit outputs.
+//
+// With -bench-out PATH the runner instead measures the two simulation
+// kernels (scalar reference vs 64-lane bit-parallel) and the map-free
+// BDD engine in-process and writes ns/op + allocs/op to PATH
+// (BENCH_2.json in CI) — the benchmark smoke artifact.
 package main
 
 import (
@@ -85,7 +90,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "measurement seed")
 	shards := flag.Int("shards", 8, "simulation shards (results depend on seed+shards, not workers)")
 	exLimit := flag.Int("exhaustive-limit", 14, "skip the Exhaustive objective beyond this many outputs")
+	benchOut := flag.String("bench-out", "", "kernel-benchmark mode: measure the scalar vs bit-parallel sim kernels and the BDD engine, write the JSON record to this path (e.g. BENCH_2.json), and exit without sweeping")
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := runKernelBench(*benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	circuits := suiteCircuits()
 	type job struct {

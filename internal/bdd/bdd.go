@@ -7,6 +7,14 @@
 // Signal probability evaluation is a single linear pass over the DAG,
 // which is what makes BDD-based probability estimation attractive for the
 // iterative phase-assignment loop.
+//
+// The engine is map-free on every hot path, following the BuDDy/CUDD
+// design: the unique table is an open-addressed (linear-probe) hash table
+// over packed (level, lo, hi) triples that grows at 3/4 load, the ITE and
+// binary-operator memos are fixed-size lossy direct-mapped caches, and
+// node storage grows in chunks. Lossy caches never change results — a
+// missed memo merely recomputes the same canonical node — so Ref identity
+// and node counts are exactly those of an unbounded-memo build.
 package bdd
 
 import (
@@ -29,30 +37,59 @@ type node struct {
 	lo, hi Ref
 }
 
-type nodeKey struct {
-	level  int32
-	lo, hi Ref
-}
-
-type opKey struct {
-	op   uint8
-	a, b Ref
-}
-
 const (
 	opAnd uint8 = iota
 	opOr
 	opXor
 )
 
+// iteEntry is one direct-mapped ITE cache slot. A zeroed entry is empty:
+// cached calls always have a non-terminal f (terminal cases return before
+// the cache), so f == False never collides with a live entry.
+type iteEntry struct {
+	f, g, h, r Ref
+}
+
+// binopEntry is one direct-mapped binary-operator cache slot. As with
+// iteEntry, cached operands are non-terminal, so a == False means empty.
+type binopEntry struct {
+	a, b, r Ref
+	op      uint8
+}
+
+const (
+	// nodeChunk is the minimum node-storage growth step: capacity grows
+	// by max(nodeChunk, cap/2), i.e. whole chunks while small and 1.5×
+	// geometric beyond two chunks.
+	nodeChunk = 4096
+	// maxCacheSize bounds the lossy memo caches (entries, power of two).
+	// Caches are rescaled together with the unique table so big builds
+	// keep a useful hit rate without per-node bookkeeping.
+	maxCacheSize = 1 << 16
+	// defaultSizeHint is the node-count hint used when the caller gives
+	// none, chosen so circuit-scale builds (~1.5k nodes) never regrow
+	// their tables.
+	defaultSizeHint = 1536
+	// minUniqueSize is the smallest unique-table/cache size (power of
+	// two) a size hint can produce — tiny cone managers stay tiny.
+	minUniqueSize = 1 << 6
+)
+
 // Manager owns a shared ROBDD forest over a fixed number of variables.
 // Variables are identified by index 0..NumVars-1; the variable order is
 // fixed at construction (level i holds variable order[i]).
 type Manager struct {
-	nodes  []node
-	unique map[nodeKey]Ref
-	ite    map[[3]Ref]Ref
-	binop  map[opKey]Ref
+	nodes []node
+
+	// unique is the open-addressed table interning (level, lo, hi)
+	// triples; slots hold a Ref into nodes (False = empty). Keys live in
+	// the nodes slice itself, so the table is a bare []Ref.
+	unique      []Ref
+	uniqueCount int
+
+	// ite and binop are lossy direct-mapped operation caches.
+	ite   []iteEntry
+	binop []binopEntry
 
 	// varAtLevel[l] = variable index decided at level l;
 	// levelOfVar[v] = level of variable v.
@@ -63,24 +100,46 @@ type Manager struct {
 // New creates a manager over numVars variables in natural order
 // (variable i at level i).
 func New(numVars int) *Manager {
+	return NewSized(numVars, defaultSizeHint)
+}
+
+// NewSized is New with an expected-node-count hint: storage and tables
+// start sized for roughly sizeHint nodes, so callers building many tiny
+// BDDs (per-cone probability estimation, say) don't pay circuit-scale
+// preallocation per manager. The hint affects memory only, never
+// results.
+func NewSized(numVars, sizeHint int) *Manager {
 	order := make([]int, numVars)
 	for i := range order {
 		order[i] = i
 	}
-	return NewWithOrder(numVars, order)
+	return NewWithOrderSized(numVars, order, sizeHint)
 }
 
 // NewWithOrder creates a manager whose level l decides variable order[l].
 // order must be a permutation of 0..numVars-1.
 func NewWithOrder(numVars int, order []int) *Manager {
+	return NewWithOrderSized(numVars, order, defaultSizeHint)
+}
+
+// NewWithOrderSized is NewWithOrder with NewSized's node-count hint.
+func NewWithOrderSized(numVars int, order []int, sizeHint int) *Manager {
 	if len(order) != numVars {
 		panic(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), numVars))
 	}
+	if sizeHint < 2 {
+		sizeHint = 2
+	}
+	tab := minUniqueSize
+	for 3*tab/4 < sizeHint && tab < maxCacheSize {
+		tab *= 2
+	}
+	nodeCap := sizeHint + 2
 	m := &Manager{
-		nodes:      make([]node, 2, 1024),
-		unique:     make(map[nodeKey]Ref),
-		ite:        make(map[[3]Ref]Ref),
-		binop:      make(map[opKey]Ref),
+		nodes:      make([]node, 2, nodeCap),
+		unique:     make([]Ref, tab),
+		ite:        make([]iteEntry, tab),
+		binop:      make([]binopEntry, tab),
 		varAtLevel: make([]int32, numVars),
 		levelOfVar: make([]int32, numVars),
 	}
@@ -117,17 +176,84 @@ func (m *Manager) Order() []int {
 // LevelOf returns the level at which variable v is decided.
 func (m *Manager) LevelOf(v int) int { return int(m.levelOfVar[v]) }
 
+// tripleHash mixes a (level, lo, hi) triple into a table index seed
+// (Fibonacci-style multiplicative hashing over the packed key).
+func tripleHash(level int32, lo, hi Ref) uint64 {
+	h := uint64(uint32(level))*0x9E3779B97F4A7C15 ^
+		uint64(uint32(lo))*0xBF58476D1CE4E5B9 ^
+		uint64(uint32(hi))*0x94D049BB133111EB
+	h ^= h >> 29
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 32
+	return h
+}
+
+// growUnique doubles the open-addressed table and reinserts every interned
+// node (keys are read back from the nodes slice). The lossy operation
+// caches are rescaled alongside; dropping their contents is sound (the
+// caches are advisory) and keeps resizing O(1) amortized.
+func (m *Manager) growUnique() {
+	old := m.unique
+	grown := make([]Ref, 2*len(old))
+	mask := uint64(len(grown) - 1)
+	for _, r := range old {
+		if r == False {
+			continue
+		}
+		n := &m.nodes[r]
+		idx := tripleHash(n.level, n.lo, n.hi) & mask
+		for grown[idx] != False {
+			idx = (idx + 1) & mask
+		}
+		grown[idx] = r
+	}
+	m.unique = grown
+	if size := len(grown); size <= maxCacheSize && size > len(m.ite) {
+		m.ite = make([]iteEntry, size)
+		m.binop = make([]binopEntry, size)
+	}
+}
+
 func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
-	key := nodeKey{level, lo, hi}
-	if r, ok := m.unique[key]; ok {
-		return r
+	mask := uint64(len(m.unique) - 1)
+	idx := tripleHash(level, lo, hi) & mask
+	for {
+		r := m.unique[idx]
+		if r == False {
+			break
+		}
+		n := &m.nodes[r]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return r
+		}
+		idx = (idx + 1) & mask
+	}
+	// Miss: intern a fresh node, growing storage chunk-wise and the table
+	// at 3/4 load.
+	if len(m.nodes) == cap(m.nodes) {
+		step := cap(m.nodes) / 2
+		if step < nodeChunk {
+			step = nodeChunk
+		}
+		ns := make([]node, len(m.nodes), cap(m.nodes)+step)
+		copy(ns, m.nodes)
+		m.nodes = ns
 	}
 	r := Ref(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
-	m.unique[key] = r
+	if 4*(m.uniqueCount+1) > 3*len(m.unique) {
+		m.growUnique()
+		mask = uint64(len(m.unique) - 1)
+		idx = tripleHash(level, lo, hi) & mask
+		for m.unique[idx] != False {
+			idx = (idx + 1) & mask
+		}
+	}
+	m.unique[idx] = r
+	m.uniqueCount++
 	return r
 }
 
@@ -244,9 +370,9 @@ func (m *Manager) apply(op uint8, f, g Ref) Ref {
 	if f > g {
 		f, g = g, f
 	}
-	key := opKey{op, f, g}
-	if r, ok := m.binop[key]; ok {
-		return r
+	slot := &m.binop[tripleHash(int32(op), f, g)&uint64(len(m.binop)-1)]
+	if slot.op == op && slot.a == f && slot.b == g {
+		return slot.r
 	}
 	lf, lg := m.level(f), m.level(g)
 	top := lf
@@ -256,7 +382,9 @@ func (m *Manager) apply(op uint8, f, g Ref) Ref {
 	f0, f1 := m.cofactors(f, top)
 	g0, g1 := m.cofactors(g, top)
 	r := m.mk(top, m.apply(op, f0, g0), m.apply(op, f1, g1))
-	m.binop[key] = r
+	// Re-resolve the slot: recursion may have rescaled the cache.
+	slot = &m.binop[tripleHash(int32(op), f, g)&uint64(len(m.binop)-1)]
+	*slot = binopEntry{a: f, b: g, r: r, op: op}
 	return r
 }
 
@@ -273,9 +401,9 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	case g == True && h == False:
 		return f
 	}
-	key := [3]Ref{f, g, h}
-	if r, ok := m.ite[key]; ok {
-		return r
+	slot := &m.ite[tripleHash(int32(f), g, h)&uint64(len(m.ite)-1)]
+	if slot.f == f && slot.g == g && slot.h == h {
+		return slot.r
 	}
 	top := m.level(f)
 	if l := m.level(g); l < top {
@@ -288,22 +416,24 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	g0, g1 := m.cofactors(g, top)
 	h0, h1 := m.cofactors(h, top)
 	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
-	m.ite[key] = r
+	slot = &m.ite[tripleHash(int32(f), g, h)&uint64(len(m.ite)-1)]
+	*slot = iteEntry{f: f, g: g, h: h, r: r}
 	return r
 }
 
 // Restrict returns f with variable v fixed to val.
 func (m *Manager) Restrict(f Ref, v int, val bool) Ref {
 	lv := m.levelOfVar[v]
-	memo := make(map[Ref]Ref)
+	memo := make([]Ref, len(m.nodes))
+	seen := make([]bool, len(m.nodes))
 	var rec func(Ref) Ref
 	rec = func(r Ref) Ref {
 		n := &m.nodes[r]
 		if n.level > lv {
 			return r
 		}
-		if got, ok := memo[r]; ok {
-			return got
+		if seen[r] {
+			return memo[r]
 		}
 		var res Ref
 		if n.level == lv {
@@ -315,7 +445,11 @@ func (m *Manager) Restrict(f Ref, v int, val bool) Ref {
 		} else {
 			res = m.mk(n.level, rec(n.lo), rec(n.hi))
 		}
+		// memo/seen are sized for the pre-call node count; mk may have
+		// appended nodes since, but only pre-existing refs are memoized
+		// (rec is called on subgraphs of f only).
 		memo[r] = res
+		seen[r] = true
 		return res
 	}
 	return rec(f)
@@ -340,8 +474,8 @@ func (m *Manager) Eval(f Ref, assignment []bool) bool {
 
 // Support returns the sorted variable indexes f depends on.
 func (m *Manager) Support(f Ref) []int {
-	seen := make(map[Ref]bool)
-	vars := make(map[int]bool)
+	seen := make([]bool, len(m.nodes))
+	vars := make([]bool, m.NumVars())
 	var rec func(Ref)
 	rec = func(r Ref) {
 		if r == True || r == False || seen[r] {
@@ -349,14 +483,16 @@ func (m *Manager) Support(f Ref) []int {
 		}
 		seen[r] = true
 		n := &m.nodes[r]
-		vars[int(m.varAtLevel[n.level])] = true
+		vars[m.varAtLevel[n.level]] = true
 		rec(n.lo)
 		rec(n.hi)
 	}
 	rec(f)
-	out := make([]int, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
+	var out []int
+	for v, in := range vars {
+		if in {
+			out = append(out, v)
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -366,7 +502,7 @@ func (m *Manager) Support(f Ref) []int {
 // from the given roots. This is the "non-leaf BDD nodes" measure the
 // paper's Figure 10 compares variable orders with.
 func (m *Manager) NodeCount(roots ...Ref) int {
-	seen := make(map[Ref]bool)
+	seen := make([]bool, len(m.nodes))
 	count := 0
 	var rec func(Ref)
 	rec = func(r Ref) {
@@ -396,8 +532,9 @@ func (m *Manager) Probability(f Ref, probs []float64) float64 {
 	if len(probs) != m.NumVars() {
 		panic(fmt.Sprintf("bdd: probs length %d != %d vars", len(probs), m.NumVars()))
 	}
-	memo := make(map[Ref]float64)
-	return m.probability(f, probs, memo)
+	memo := make([]float64, len(m.nodes))
+	seen := make([]bool, len(m.nodes))
+	return m.probability(f, probs, memo, seen)
 }
 
 // ProbabilityMany evaluates P[f=1] for many roots sharing one memo table,
@@ -407,28 +544,30 @@ func (m *Manager) ProbabilityMany(roots []Ref, probs []float64) []float64 {
 	if len(probs) != m.NumVars() {
 		panic(fmt.Sprintf("bdd: probs length %d != %d vars", len(probs), m.NumVars()))
 	}
-	memo := make(map[Ref]float64, len(roots)*4)
+	memo := make([]float64, len(m.nodes))
+	seen := make([]bool, len(m.nodes))
 	out := make([]float64, len(roots))
 	for i, r := range roots {
-		out[i] = m.probability(r, probs, memo)
+		out[i] = m.probability(r, probs, memo, seen)
 	}
 	return out
 }
 
-func (m *Manager) probability(f Ref, probs []float64, memo map[Ref]float64) float64 {
+func (m *Manager) probability(f Ref, probs []float64, memo []float64, seen []bool) float64 {
 	if f == False {
 		return 0
 	}
 	if f == True {
 		return 1
 	}
-	if p, ok := memo[f]; ok {
-		return p
+	if seen[f] {
+		return memo[f]
 	}
 	n := &m.nodes[f]
 	p := probs[m.varAtLevel[n.level]]
-	res := (1-p)*m.probability(n.lo, probs, memo) + p*m.probability(n.hi, probs, memo)
+	res := (1-p)*m.probability(n.lo, probs, memo, seen) + p*m.probability(n.hi, probs, memo, seen)
 	memo[f] = res
+	seen[f] = true
 	return res
 }
 

@@ -1,0 +1,75 @@
+package bdd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// bddBenchNet is a mid-size synthetic network built locally (the gen
+// package transitively imports bdd, so the shared generators are off
+// limits here). The BDD build cost is dominated by unique-table and
+// memo-cache traffic, which is exactly what the open-addressed engine
+// targets.
+func bddBenchNet() *logic.Network {
+	rng := rand.New(rand.NewSource(77))
+	n := logic.New("bddbench")
+	var ids []logic.NodeID
+	for i := 0; i < 20; i++ {
+		ids = append(ids, n.AddInput(fmt.Sprintf("x%d", i)))
+	}
+	pick := func() logic.NodeID { return ids[rng.Intn(len(ids))] }
+	for g := 0; g < 260; g++ {
+		switch rng.Intn(5) {
+		case 0:
+			ids = append(ids, n.AddNot(pick()))
+		case 1, 2:
+			ids = append(ids, n.AddAnd(pick(), pick()))
+		case 3:
+			ids = append(ids, n.AddOr(pick(), pick(), pick()))
+		default:
+			ids = append(ids, n.AddOr(pick(), pick()))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		n.MarkOutput(fmt.Sprintf("f%d", i), ids[len(ids)-1-i])
+	}
+	return n
+}
+
+// BenchmarkBDDBuild measures a full shared-forest construction over every
+// network node — the hot loop of prob.Exact and power.Estimate.
+func BenchmarkBDDBuild(b *testing.B) {
+	n := bddBenchNet()
+	b.ReportAllocs()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		nb, err := BuildNetwork(n, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = nb.Manager.Size()
+	}
+	b.ReportMetric(float64(nodes), "bdd_nodes")
+}
+
+// BenchmarkBDDProbability measures the linear-pass probability evaluation
+// over a prebuilt forest (the per-candidate cost inside phase.MinPower).
+func BenchmarkBDDProbability(b *testing.B) {
+	n := bddBenchNet()
+	nb, err := BuildNetwork(n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probs := make([]float64, n.NumInputs())
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb.Manager.ProbabilityMany(nb.NodeRefs, probs)
+	}
+}

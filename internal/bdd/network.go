@@ -33,20 +33,21 @@ type InputLit struct {
 // input order[l]); pass nil for natural input order. The network must not
 // contain cycles (guaranteed by logic.Network construction).
 func BuildNetwork(n *logic.Network, order []int) (*NetworkBDDs, error) {
-	lits := make([]InputLit, n.NumInputs())
-	for i := range lits {
-		lits[i] = InputLit{Var: i}
-	}
-	return BuildNetworkLits(n, n.NumInputs(), lits, order)
+	return BuildNetworkLits(n, n.NumInputs(), nil, order)
 }
 
 // BuildNetworkLits constructs BDDs for every node of the network over an
 // external variable space of numVars variables; input position p of the
-// network is the literal lits[p]. order is a permutation of the numVars
-// variables (nil for natural).
+// network is the literal lits[p]. A nil lits means the identity mapping
+// (input position p is the positive literal of variable p, requiring
+// numVars == NumInputs). order is a permutation of the numVars variables
+// (nil for natural).
 func BuildNetworkLits(n *logic.Network, numVars int, lits []InputLit, order []int) (*NetworkBDDs, error) {
-	if len(lits) != n.NumInputs() {
+	if lits != nil && len(lits) != n.NumInputs() {
 		return nil, fmt.Errorf("bdd: %d literals for %d inputs", len(lits), n.NumInputs())
+	}
+	if lits == nil && numVars != n.NumInputs() {
+		return nil, fmt.Errorf("bdd: identity literals need %d vars, got %d", n.NumInputs(), numVars)
 	}
 	if order == nil {
 		order = make([]int, numVars)
@@ -57,19 +58,26 @@ func BuildNetworkLits(n *logic.Network, numVars int, lits []InputLit, order []in
 	m := NewWithOrder(numVars, order)
 	refs := make([]Ref, n.NumNodes())
 	inputVar := make(map[logic.NodeID]int, n.NumInputs())
+	var inputNeg []bool
 	for pos, id := range n.Inputs() {
+		if lits == nil {
+			inputVar[id] = pos
+			continue
+		}
 		inputVar[id] = lits[pos].Var
-	}
-	inputNeg := make(map[logic.NodeID]bool, n.NumInputs())
-	for pos, id := range n.Inputs() {
-		inputNeg[id] = lits[pos].Neg
+		if lits[pos].Neg {
+			if inputNeg == nil {
+				inputNeg = make([]bool, n.NumNodes())
+			}
+			inputNeg[id] = true
+		}
 	}
 	for i := 0; i < n.NumNodes(); i++ {
 		id := logic.NodeID(i)
 		nd := n.Node(id)
 		switch nd.Kind {
 		case logic.KindInput:
-			if inputNeg[id] {
+			if inputNeg != nil && inputNeg[id] {
 				refs[i] = m.NVar(inputVar[id])
 			} else {
 				refs[i] = m.Var(inputVar[id])
@@ -127,7 +135,8 @@ func Transfer(src *Manager, f Ref, dst *Manager, varMap []int) Ref {
 			varMap[i] = i
 		}
 	}
-	memo := make(map[Ref]Ref)
+	memo := make([]Ref, len(src.nodes))
+	seen := make([]bool, len(src.nodes))
 	var rec func(Ref) Ref
 	rec = func(r Ref) Ref {
 		if r == False {
@@ -136,8 +145,8 @@ func Transfer(src *Manager, f Ref, dst *Manager, varMap []int) Ref {
 		if r == True {
 			return True
 		}
-		if got, ok := memo[r]; ok {
-			return got
+		if seen[r] {
+			return memo[r]
 		}
 		n := &src.nodes[r]
 		v := varMap[src.varAtLevel[n.level]]
@@ -145,6 +154,7 @@ func Transfer(src *Manager, f Ref, dst *Manager, varMap []int) Ref {
 		hi := rec(n.hi)
 		res := dst.ITE(dst.Var(v), hi, lo)
 		memo[r] = res
+		seen[r] = true
 		return res
 	}
 	return rec(f)

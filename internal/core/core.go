@@ -74,6 +74,10 @@ type Options struct {
 	// Results are a pure function of (Seed, Vectors, SimShards); 0 keeps
 	// the single-stream sequential measurement.
 	SimShards int
+	// SimKernel selects the measurement engine (see sim.Kernel); the
+	// zero value is the bit-parallel one. Like Workers, it never changes
+	// results — only wall-clock.
+	SimKernel sim.Kernel
 }
 
 // Result bundles the synthesized implementation and its measurements.
@@ -175,7 +179,7 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 	}
 	rep, err := sim.Run(block, sim.Config{
 		Vectors: opts.Vectors, Seed: opts.Seed, InputProbs: probs,
-		Shards: opts.SimShards, Workers: opts.Workers,
+		Shards: opts.SimShards, Workers: opts.Workers, Kernel: opts.SimKernel,
 	})
 	if err != nil {
 		return nil, err

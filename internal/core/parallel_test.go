@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/sim"
 )
 
 // TestSynthesizeParallelRaceRegression drives the full pipeline with a
@@ -22,6 +23,31 @@ func TestSynthesizeParallelRaceRegression(t *testing.T) {
 		}
 		if r.Cells <= 0 || r.MeasuredPower <= 0 {
 			t.Errorf("objective %d: cells %d, measured %v", obj, r.Cells, r.MeasuredPower)
+		}
+	}
+}
+
+// TestSynthesizeKernelInvariant pins the kernel contract at the top of
+// the stack: swapping the scalar measurement engine for the bit-parallel
+// one must not change a single field of the synthesis result.
+func TestSynthesizeKernelInvariant(t *testing.T) {
+	net := gen.Generate(gen.Params{Name: "kernreg", Inputs: 10, Outputs: 5, Gates: 60, Seed: 0xBEA7, OrProb: 0.6})
+	for _, obj := range []Objective{MinArea, MinPower} {
+		var want *Result
+		for _, k := range []sim.Kernel{sim.KernelScalar, sim.KernelWide, sim.KernelAuto} {
+			r, err := Synthesize(net, Options{
+				Objective: obj, Vectors: 1500, Seed: 7, Workers: 4, SimShards: 4, SimKernel: k,
+			})
+			if err != nil {
+				t.Fatalf("objective %d kernel=%d: %v", obj, k, err)
+			}
+			if want == nil {
+				want = r
+				continue
+			}
+			if !reflect.DeepEqual(r, want) {
+				t.Errorf("objective %d kernel=%d: result drifted: %+v vs %+v", obj, k, r, want)
+			}
 		}
 	}
 }

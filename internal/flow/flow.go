@@ -66,6 +66,10 @@ type Config struct {
 	// concurrent streams (see sim.Config.Shards); 0 keeps the
 	// single-stream measurement.
 	SimShards int
+	// SimKernel selects the measurement engine (see sim.Kernel); the
+	// zero value is the bit-parallel one. Like Workers, it never changes
+	// results — only wall-clock.
+	SimKernel sim.Kernel
 }
 
 func (c *Config) defaults() {
@@ -232,7 +236,7 @@ func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network
 	}
 	rep, err := sim.Run(b, sim.Config{
 		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
-		Shards: cfg.SimShards, Workers: cfg.Workers,
+		Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: sim: %w", err)
@@ -306,7 +310,7 @@ func RunCircuitTimed(c gen.NamedCircuit, cfg Config) (*Row, error) {
 		s.MetTiming = err == nil
 		rep, simErr := sim.Run(s.Block, sim.Config{
 			Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
-			Shards: cfg.SimShards, Workers: cfg.Workers,
+			Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
 		})
 		if simErr != nil {
 			return simErr

@@ -126,7 +126,7 @@ func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float
 	}
 	rep, err := sim.Run(b, sim.Config{
 		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
-		Shards: cfg.SimShards, Workers: cfg.Workers,
+		Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,104 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomWideNet builds a random network exercising every node kind,
+// including constants, buffers, and wide n-ary gates.
+func randomWideNet(rng *rand.Rand, numInputs, numGates int) *Network {
+	n := New("wide")
+	var ids []NodeID
+	for i := 0; i < numInputs; i++ {
+		ids = append(ids, n.AddInput(fmt.Sprintf("in%d", i)))
+	}
+	ids = append(ids, n.AddConst(false), n.AddConst(true))
+	pick := func() NodeID { return ids[rng.Intn(len(ids))] }
+	for g := 0; g < numGates; g++ {
+		switch rng.Intn(6) {
+		case 0:
+			ids = append(ids, n.AddNot(pick()))
+		case 1:
+			ids = append(ids, n.AddBuf(pick()))
+		case 2:
+			ids = append(ids, n.AddAnd(pick(), pick(), pick()))
+		case 3:
+			ids = append(ids, n.AddOr(pick(), pick()))
+		case 4:
+			ids = append(ids, n.AddXor(pick(), pick(), pick()))
+		default:
+			ids = append(ids, n.AddAnd(pick()))
+		}
+	}
+	n.MarkOutput("f", ids[len(ids)-1])
+	return n
+}
+
+// TestEvalWideMatchesEval drives 64 random assignments through the
+// scalar evaluator and the packed lanes of one EvalWide call: every lane
+// of every node must agree.
+func TestEvalWideMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xEA7))
+	for trial := 0; trial < 20; trial++ {
+		n := randomWideNet(rng, 1+rng.Intn(10), 1+rng.Intn(60))
+		inWords := make([]uint64, n.NumInputs())
+		for i := range inWords {
+			inWords[i] = rng.Uint64()
+		}
+		wide := n.EvalWide(inWords, nil)
+		inVals := make([]bool, n.NumInputs())
+		scratch := make([]bool, n.NumNodes())
+		for k := 0; k < 64; k++ {
+			for i := range inVals {
+				inVals[i] = inWords[i]&(1<<uint(k)) != 0
+			}
+			vals := n.Eval(inVals, scratch)
+			for id := 0; id < n.NumNodes(); id++ {
+				want := vals[id]
+				got := wide[id]&(1<<uint(k)) != 0
+				if want != got {
+					t.Fatalf("trial %d lane %d node %d (%s): wide=%v scalar=%v",
+						trial, k, id, n.Kind(NodeID(id)), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalWideScratchReuse checks the scratch-slice contract matches
+// Eval's: a reused scratch must not leak stale lane values.
+func TestEvalWideScratchReuse(t *testing.T) {
+	n := New("reuse")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.MarkOutput("f", n.AddAnd(a, b))
+	scratch := make([]uint64, n.NumNodes())
+	for i := range scratch {
+		scratch[i] = ^uint64(0)
+	}
+	got := n.EvalWide([]uint64{0xF0F0, 0xFF00}, scratch)
+	if want := uint64(0xF000); got[2] != want {
+		t.Fatalf("AND word = %#x, want %#x", got[2], want)
+	}
+	got2 := n.EvalWide([]uint64{0, 0}, got)
+	if got2[2] != 0 {
+		t.Fatalf("stale scratch leaked: %#x", got2[2])
+	}
+}
+
+func BenchmarkEvalWide(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := randomWideNet(rng, 24, 800)
+	inWords := make([]uint64, n.NumInputs())
+	for i := range inWords {
+		inWords[i] = rng.Uint64()
+	}
+	scratch := make([]uint64, n.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.EvalWide(inWords, scratch)
+	}
+}

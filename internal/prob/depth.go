@@ -87,8 +87,10 @@ func LimitedDepth(n *logic.Network, inputProbs []float64, depth, maxFrontier int
 			p[i] = localApprox(n, id, p)
 			continue
 		}
-		// Build the local BDD bottom-up over the cone.
-		m := bdd.New(len(frontierOrder))
+		// Build the local BDD bottom-up over the cone. Cone BDDs are
+		// tiny (≤ maxFrontier variables, depth-capped), so hint the
+		// manager small instead of paying circuit-scale tables per node.
+		m := bdd.NewSized(len(frontierOrder), 4*(len(inCone)+len(frontierOrder)+1))
 		refs := make(map[logic.NodeID]bdd.Ref, len(inCone)+len(frontier))
 		for u, v := range frontier {
 			refs[u] = m.Var(v)

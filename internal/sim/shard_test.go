@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -108,6 +109,150 @@ func TestRunShardedEstimatesAgree(t *testing.T) {
 	if math.Abs(sh.Total-seq.Total) > (seq.TotalCI.High-seq.TotalCI.Low)+(sh.TotalCI.High-sh.TotalCI.Low) {
 		t.Errorf("sharded total %v too far from sequential %v (CIs %+v vs %+v)",
 			sh.Total, seq.Total, sh.TotalCI, seq.TotalCI)
+	}
+}
+
+// TestWideMatchesScalarKernel is the cross-check harness for the
+// bit-parallel engine: over random circuits, seeds, and shard counts, the
+// 64-lane kernel's Report must be byte-identical to the scalar reference
+// oracle — including every float (power sums, confidence interval,
+// per-cell frequencies).
+func TestWideMatchesScalarKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x51DE))
+	for trial := 0; trial < 8; trial++ {
+		n := gen.Generate(gen.Params{
+			Name:    "xchk",
+			Inputs:  4 + rng.Intn(12),
+			Outputs: 2 + rng.Intn(6),
+			Gates:   20 + rng.Intn(120),
+			Seed:    rng.Int63(),
+			OrProb:  0.3 + 0.5*rng.Float64(),
+		})
+		asg := make(phase.Assignment, n.NumOutputs())
+		for i := range asg {
+			asg[i] = rng.Intn(2) == 1
+		}
+		res, err := phase.Apply(n, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blk, err := domino.Map(res, domino.DefaultLibrary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs := make([]float64, n.NumInputs())
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		// Vector counts off the 64-lane grid exercise the tail-word
+		// masking; shard counts exercise per-shard history restarts.
+		for _, c := range []struct{ vectors, shards int }{
+			{1, 1}, {63, 1}, {64, 1}, {65, 1}, {1000, 1},
+			{1000, 3}, {2048, 8}, {777, 16}, {100, 64},
+		} {
+			cfg := Config{
+				Vectors: c.vectors, Seed: int64(trial*100 + c.shards),
+				InputProbs: probs, Shards: c.shards, Workers: 2,
+			}
+			cfg.Kernel = KernelScalar
+			scalar, err := Run(blk, cfg)
+			if err != nil {
+				t.Fatalf("trial %d scalar %+v: %v", trial, c, err)
+			}
+			cfg.Kernel = KernelWide
+			wide, err := Run(blk, cfg)
+			if err != nil {
+				t.Fatalf("trial %d wide %+v: %v", trial, c, err)
+			}
+			if !reflect.DeepEqual(scalar, wide) {
+				t.Fatalf("trial %d %+v: kernels disagree\nscalar: %+v\nwide:   %+v",
+					trial, c, scalar, wide)
+			}
+			cfg.Kernel = KernelAuto
+			auto, err := Run(blk, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(auto, wide) {
+				t.Fatalf("trial %d %+v: KernelAuto differs from KernelWide", trial, c)
+			}
+		}
+	}
+}
+
+// TestRunDegenerateShardSizing is the regression test for Vectors <
+// Shards: the budget must clamp to one vector per shard — no zero-vector
+// shards, no NaNs from empty Welford accumulators in the merge.
+func TestRunDegenerateShardSizing(t *testing.T) {
+	blk, probs := shardTestBlock(t)
+	for _, c := range []struct{ vectors, shards int }{
+		{1, 64}, {2, 64}, {3, 64}, {5, 1000}, {63, 64},
+	} {
+		for _, k := range []Kernel{KernelScalar, KernelWide} {
+			rep, err := Run(blk, Config{
+				Vectors: c.vectors, Seed: 2, InputProbs: probs,
+				Shards: c.shards, Workers: 8, Kernel: k,
+			})
+			if err != nil {
+				t.Fatalf("%+v kernel=%d: %v", c, k, err)
+			}
+			if rep.Cycles != c.vectors {
+				t.Errorf("%+v: cycles = %d, want %d", c, rep.Cycles, c.vectors)
+			}
+			for name, v := range map[string]float64{
+				"DominoPower":    rep.DominoPower,
+				"InputInvPower":  rep.InputInvPower,
+				"OutputInvPower": rep.OutputInvPower,
+				"Total":          rep.Total,
+				"CI.Mean":        rep.TotalCI.Mean,
+				"CI.Low":         rep.TotalCI.Low,
+				"CI.High":        rep.TotalCI.High,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%+v kernel=%d: %s = %v", c, k, name, v)
+				}
+			}
+			for ci, f := range rep.PerCellFreq {
+				if math.IsNaN(f) {
+					t.Errorf("%+v kernel=%d: PerCellFreq[%d] is NaN", c, k, ci)
+				}
+			}
+		}
+	}
+}
+
+// TestTotalCINotDegenerate guards the error bar itself: short runs fall
+// back to per-cycle variance samples and long runs use batch means, but
+// in both regimes (and in both kernels) the 95% interval must have
+// positive width on a block with varying cycle power.
+func TestTotalCINotDegenerate(t *testing.T) {
+	blk, probs := shardTestBlock(t)
+	for _, c := range []struct{ vectors, shards int }{
+		{50, 1},   // < one window: per-cycle samples
+		{65, 1},   // one full window + 1-cycle tail: per-cycle samples
+		{200, 4},  // 50-cycle shards: per-cycle samples
+		{4096, 8}, // batch means, 8 full windows per shard
+		{2000, 3}, // batch means with partial tail windows per shard
+	} {
+		for _, k := range []Kernel{KernelScalar, KernelWide} {
+			rep, err := Run(blk, Config{
+				Vectors: c.vectors, Seed: 11, InputProbs: probs,
+				Shards: c.shards, Workers: 2, Kernel: k,
+			})
+			if err != nil {
+				t.Fatalf("%+v kernel=%d: %v", c, k, err)
+			}
+			if !(rep.TotalCI.Low < rep.TotalCI.High) {
+				t.Errorf("%+v kernel=%d: degenerate CI [%v, %v]", c, k, rep.TotalCI.Low, rep.TotalCI.High)
+			}
+			if rep.TotalCI.Mean != rep.Total {
+				t.Errorf("%+v kernel=%d: CI centered on %v, want Total %v", c, k, rep.TotalCI.Mean, rep.Total)
+			}
+			if rep.TotalCI.Low > rep.Total || rep.Total > rep.TotalCI.High {
+				t.Errorf("%+v kernel=%d: CI [%v, %v] does not bracket Total %v",
+					c, k, rep.TotalCI.Low, rep.TotalCI.High, rep.Total)
+			}
+		}
 	}
 }
 

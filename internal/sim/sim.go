@@ -11,11 +11,21 @@
 // zero-delay sweep per cycle is exact for the block. Boundary static
 // inverters toggle on input value changes (input side) or together with
 // their driving domino output (output side).
+//
+// Two kernels implement the same measurement. The default bit-parallel
+// kernel packs 64 cycles into the lanes of one uint64 per net and
+// evaluates each gate once per word (logic.EvalWide), counting
+// transitions with popcounts; the scalar kernel evaluates one []bool
+// vector per cycle and is kept as the reference oracle. Both draw their
+// Bernoulli inputs in the same rng order and share the same windowed
+// accumulation arithmetic, so for every (Seed, Shards) they produce
+// byte-identical Reports.
 package sim
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/domino"
@@ -23,6 +33,83 @@ import (
 	"repro/internal/par"
 	"repro/internal/stats"
 )
+
+// Kernel selects the simulation engine. Both kernels produce
+// byte-identical Reports; the choice affects wall-clock only.
+type Kernel uint8
+
+const (
+	// KernelAuto picks the fast engine (currently the bit-parallel one).
+	KernelAuto Kernel = iota
+	// KernelWide forces the 64-lane bit-parallel engine.
+	KernelWide
+	// KernelScalar forces the one-vector-per-cycle reference engine.
+	KernelScalar
+)
+
+// simWindow is the statistics window: transition counts fold into the
+// shard totals and the batch-means variance accumulator every simWindow
+// cycles. It equals the uint64 lane count so the bit-parallel kernel
+// closes exactly one window per machine word.
+const simWindow = 64
+
+// perCycleCIThreshold selects the confidence-interval sampling mode:
+// when the smallest shard has fewer than two full windows, the batch
+// sample would be too small (or empty) for a meaningful variance, so
+// both kernels fall back to genuine per-cycle samples — cheap there,
+// since such runs are at most a couple of words per shard.
+const perCycleCIThreshold = 2 * simWindow
+
+// bernoulliBits is the resolution of the Bernoulli input generator:
+// probabilities are rounded to this many binary digits (quantization
+// error ≤ 2^-31, far below Monte-Carlo noise at any realistic vector
+// count; exact for dyadic probabilities such as 0, 0.25, 0.5, 1).
+const bernoulliBits = 30
+
+// bernoulliWord draws 64 independent Bernoulli(p) lanes as one uint64
+// using the dyadic-expansion trick: with p = 0.b1b2…bK in binary,
+// fold one uniform word per digit from least to most significant —
+// w = r|w for a 1 digit, r&w for a 0 digit — which halves the lane
+// probability per step and adds ½ at every 1 digit. Trailing zero digits
+// are skipped (they cannot change an all-zero word), so the rng
+// consumption is a pure function of p: one draw for p = 0.5, at most
+// bernoulliBits draws in general. Compared with 64 Float64 draws per
+// word this is what keeps the bit-parallel kernel from being rng-bound.
+func bernoulliWord(rng *rand.Rand, p float64) uint64 {
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	q := uint32(p*(1<<bernoulliBits) + 0.5)
+	if p <= 0 || q == 0 {
+		return 0
+	}
+	if q >= 1<<bernoulliBits {
+		return ^uint64(0)
+	}
+	tz := uint(bits.TrailingZeros32(q))
+	q >>= tz
+	w := uint64(0)
+	for j := uint(0); j < bernoulliBits-tz; j++ {
+		r := rng.Uint64()
+		if q&1 == 1 {
+			w |= r
+		} else {
+			w &= r
+		}
+		q >>= 1
+	}
+	return w
+}
+
+// packInputs fills words[i] with one window's packed Bernoulli draws for
+// every input: bit k of words[i] is input i's value in cycle k of the
+// window. Both kernels call exactly this, in the same window order, so
+// they simulate the same vector sequence for a given seed.
+func packInputs(rng *rand.Rand, probs []float64, words []uint64) {
+	for i, p := range probs {
+		words[i] = bernoulliWord(rng, p)
+	}
+}
 
 // Config parameterizes a simulation run.
 type Config struct {
@@ -37,14 +124,25 @@ type Config struct {
 	// its own rng seeded Seed+shard. The report is a pure function of
 	// (Vectors, Seed, Shards, InputProbs): shard sizes and the merge order
 	// are fixed by shard index, so reruns are bit-identical. 0 or 1 means
-	// a single shard, which reproduces the historical sequential run for a
-	// given Seed exactly. Each shard starts without input history, so its
+	// a single shard. Each shard starts without input history, so its
 	// first cycle counts no input-inverter toggles — different shard
 	// counts are therefore distinct (equally valid) sample estimates.
+	// Shards beyond Vectors are clamped so no shard ever simulates zero
+	// vectors.
+	//
+	// Compatibility: PR 2 replaced the per-cycle Float64 draws with the
+	// packed dyadic-expansion generator (see bernoulliWord), so a given
+	// (Seed, Shards) simulates a different — equally valid — vector
+	// sequence than pre-PR-2 releases did. Absolute measured values are
+	// therefore not comparable across that boundary; determinism within
+	// a build is unaffected.
 	Shards int
 	// Workers bounds the goroutines simulating shards (0 = GOMAXPROCS,
 	// 1 = sequential). Workers affects wall-clock only, never the report.
 	Workers int
+	// Kernel selects the engine (see Kernel); the zero value picks the
+	// bit-parallel one. Reports do not depend on it.
+	Kernel Kernel
 }
 
 // Report summarizes measured activity. Power figures are in switched-
@@ -56,12 +154,18 @@ type Report struct {
 	DominoTransitions    int64
 	InputInvTransitions  int64
 	OutputInvTransitions int64
-	// Load- and penalty-weighted per-cycle power.
+	// Load- and penalty-weighted per-cycle power. These are exact
+	// functions of the integer transition counts (count × weight), so
+	// they are identical for both kernels.
 	DominoPower    float64
 	InputInvPower  float64
 	OutputInvPower float64
 	Total          float64
-	// TotalCI is the 95% confidence interval of Total over cycles —
+	// TotalCI is the 95% confidence interval of Total: centered on the
+	// exact count-derived Total, with the half-width estimated by the
+	// batch-means method over full 64-cycle windows (partial tail
+	// windows are excluded from the variance sample), or from genuine
+	// per-cycle samples when shards are shorter than two windows —
 	// Monte-Carlo numbers come with error bars.
 	TotalCI stats.Interval
 	// PerCellFreq is each domino cell's measured switching frequency
@@ -69,97 +173,319 @@ type Report struct {
 	PerCellFreq []float64
 }
 
-// shardResult accumulates one shard's raw (undivided) activity sums; the
-// merge step folds shards in index order and normalizes once at the end,
-// so a single shard reproduces the historical sequential arithmetic
-// exactly.
-type shardResult struct {
-	cellTrans            []int64
-	inputInvTransitions  int64
-	outputInvTransitions int64
-	dominoPowerSum       float64
-	inputInvPowerSum     float64
-	outputInvPowerSum    float64
-	perCycle             stats.Running
+// blockParams is the precomputed per-block weighting shared by both
+// kernels and the final report assembly, so every float in the Report is
+// derived from one set of weights.
+type blockParams struct {
+	// weights[ci] = Load·(1+Penalty) of cell ci.
+	weights []float64
+	// invPos lists the inverted block-input positions in ascending order;
+	// invLoad[pos] is the boundary inverter load at that position.
+	invPos  []int
+	invLoad []float64
+	// negOut lists the negated output indexes in ascending order;
+	// drivers[i] is output i's driver node.
+	negOut  []int
+	drivers []logic.NodeID
+	outCap  float64
 }
 
-// runShard simulates `vectors` cycles with a dedicated rng seeded `seed`,
-// checking ctx between cycles so a sibling shard's failure aborts early.
-func runShard(ctx context.Context, b *domino.Block, cfg Config, seed int64, vectors int) (*shardResult, error) {
+func newBlockParams(b *domino.Block) *blockParams {
+	net := b.Net
+	loads := b.NodeLoads()
+	inputNodeOf := net.Inputs()
+	p := &blockParams{
+		weights: make([]float64, len(b.Cells)),
+		invLoad: make([]float64, len(b.Phase.Inputs)),
+		drivers: make([]logic.NodeID, len(net.Outputs())),
+		outCap:  b.Library().OutputCap,
+	}
+	for ci := range b.Cells {
+		cell := &b.Cells[ci]
+		p.weights[ci] = cell.Load * (1 + cell.Penalty)
+	}
+	for pos, bi := range b.Phase.Inputs {
+		if bi.Inverted {
+			p.invPos = append(p.invPos, pos)
+			p.invLoad[pos] = loads[inputNodeOf[pos]]
+		}
+	}
+	for i, o := range net.Outputs() {
+		p.drivers[i] = o.Driver
+	}
+	for i, bo := range b.Phase.Outputs {
+		if bo.Negated {
+			p.negOut = append(p.negOut, i)
+		}
+	}
+	return p
+}
+
+// shardResult accumulates one shard's raw (undivided) activity counts;
+// the merge step folds shards in index order and weights once at the
+// end. All floats derive from integer counts, so the merge is exact.
+type shardResult struct {
+	cellTrans      []int64
+	inputInvTrans  []int64 // per block-input position
+	outputInvTrans []int64 // per output index
+	perCycle       stats.Running
+}
+
+func newShardResult(b *domino.Block) *shardResult {
+	return &shardResult{
+		cellTrans:      make([]int64, len(b.Cells)),
+		inputInvTrans:  make([]int64, len(b.Phase.Inputs)),
+		outputInvTrans: make([]int64, len(b.Phase.Outputs)),
+	}
+}
+
+// window holds one simWindow-cycle window's transition counts. The
+// scalar kernel increments them cycle by cycle; the bit-parallel kernel
+// writes popcounts. fold is the single place counts become floats.
+type window struct {
+	cell []int32
+	inv  []int32
+	out  []int32
+}
+
+func newWindow(b *domino.Block) *window {
+	return &window{
+		cell: make([]int32, len(b.Cells)),
+		inv:  make([]int32, len(b.Phase.Inputs)),
+		out:  make([]int32, len(b.Phase.Outputs)),
+	}
+}
+
+// fold closes a window of `lanes` cycles: counts roll into the shard
+// totals and, when addBatch is set (batch-means mode, full windows
+// only — a partial tail would feed a skewed sample), the window's mean
+// per-cycle power feeds the variance accumulator. Both kernels call
+// exactly this function with the same counts in the same order, which
+// is what makes their Reports byte-identical.
+func (w *window) fold(sr *shardResult, p *blockParams, lanes int, addBatch bool) {
+	sum := 0.0
+	for ci, c := range w.cell {
+		if c != 0 {
+			sum += p.weights[ci] * float64(c)
+			sr.cellTrans[ci] += int64(c)
+			w.cell[ci] = 0
+		}
+	}
+	for _, pos := range p.invPos {
+		if c := w.inv[pos]; c != 0 {
+			sum += p.invLoad[pos] * float64(c)
+			sr.inputInvTrans[pos] += int64(c)
+			w.inv[pos] = 0
+		}
+	}
+	for _, oi := range p.negOut {
+		if c := w.out[oi]; c != 0 {
+			sum += p.outCap * float64(c)
+			sr.outputInvTrans[oi] += int64(c)
+			w.out[oi] = 0
+		}
+	}
+	if addBatch {
+		sr.perCycle.Add(sum / float64(lanes))
+	}
+}
+
+// runShardScalar simulates `vectors` cycles one bool vector at a time
+// with a dedicated rng seeded `seed`, checking ctx between windows so a
+// sibling shard's failure aborts early. It is the reference oracle for
+// the bit-parallel kernel: it unpacks the same per-window input words
+// (packInputs) lane by lane and closes the same window folds. With
+// perCycleCI it feeds the variance accumulator one genuine per-cycle
+// power sample per cycle instead of batch means.
+func runShardScalar(ctx context.Context, b *domino.Block, cfg Config, p *blockParams, perCycleCI bool, seed int64, vectors int) (*shardResult, error) {
 	net := b.Net
 	rng := rand.New(rand.NewSource(seed))
 
+	origWords := make([]uint64, len(cfg.InputProbs))
 	origVals := make([]bool, len(cfg.InputProbs))
 	blockVals := make([]bool, net.NumInputs())
 	prevBlockVals := make([]bool, net.NumInputs())
 	havePrev := false
 
 	scratch := make([]bool, net.NumNodes())
-	loads := b.NodeLoads()
-	lib := b.Library()
+	sr := newShardResult(b)
+	win := newWindow(b)
 
-	sr := &shardResult{cellTrans: make([]int64, len(b.Cells))}
-
-	inputNodeOf := net.Inputs()
-	for cycle := 0; cycle < vectors; cycle++ {
-		if cycle%1024 == 0 {
+	for done := 0; done < vectors; done += simWindow {
+		if done%1024 == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		cyclePower := 0.0
-		for i := range origVals {
-			origVals[i] = rng.Float64() < cfg.InputProbs[i]
+		lanes := vectors - done
+		if lanes > simWindow {
+			lanes = simWindow
 		}
-		for pos, bi := range b.Phase.Inputs {
-			v := origVals[bi.InputPos]
-			if bi.Inverted {
-				v = !v
+		packInputs(rng, cfg.InputProbs, origWords)
+		for k := 0; k < lanes; k++ {
+			for i := range origVals {
+				origVals[i] = origWords[i]>>uint(k)&1 == 1
 			}
-			blockVals[pos] = v
-		}
-		values := net.Eval(blockVals, scratch)
-
-		// Domino cells: one transition pair per evaluate-high cycle.
-		for ci := range b.Cells {
-			cell := &b.Cells[ci]
-			if values[cell.Node] {
-				sr.cellTrans[ci]++
-				w := cell.Load * (1 + cell.Penalty)
-				sr.dominoPowerSum += w
-				cyclePower += w
-			}
-		}
-		// Input-boundary inverters: static gates, toggle on change.
-		if havePrev {
 			for pos, bi := range b.Phase.Inputs {
-				if !bi.Inverted {
-					continue
+				v := origVals[bi.InputPos]
+				if bi.Inverted {
+					v = !v
 				}
-				if blockVals[pos] != prevBlockVals[pos] {
-					sr.inputInvTransitions++
-					sr.inputInvPowerSum += loads[inputNodeOf[pos]]
-					cyclePower += loads[inputNodeOf[pos]]
+				blockVals[pos] = v
+			}
+			values := net.Eval(blockVals, scratch)
+
+			cyclePower := 0.0
+			// Domino cells: one transition pair per evaluate-high cycle.
+			for ci := range b.Cells {
+				if values[b.Cells[ci].Node] {
+					win.cell[ci]++
+					if perCycleCI {
+						cyclePower += p.weights[ci]
+					}
 				}
 			}
-		}
-		// Output-boundary inverters: driven by domino outputs, they
-		// switch whenever the driver evaluates high (and precharges).
-		for i, bo := range b.Phase.Outputs {
-			if !bo.Negated {
-				continue
+			// Input-boundary inverters: static gates, toggle on change.
+			if havePrev {
+				for _, pos := range p.invPos {
+					if blockVals[pos] != prevBlockVals[pos] {
+						win.inv[pos]++
+						if perCycleCI {
+							cyclePower += p.invLoad[pos]
+						}
+					}
+				}
 			}
-			if values[net.Outputs()[i].Driver] {
-				sr.outputInvTransitions++
-				sr.outputInvPowerSum += lib.OutputCap
-				cyclePower += lib.OutputCap
+			// Output-boundary inverters: driven by domino outputs, they
+			// switch whenever the driver evaluates high (and precharges).
+			for _, oi := range p.negOut {
+				if values[p.drivers[oi]] {
+					win.out[oi]++
+					if perCycleCI {
+						cyclePower += p.outCap
+					}
+				}
 			}
+			if perCycleCI {
+				sr.perCycle.Add(cyclePower)
+			}
+			copy(prevBlockVals, blockVals)
+			havePrev = true
 		}
-		copy(prevBlockVals, blockVals)
-		havePrev = true
-		sr.perCycle.Add(cyclePower)
+		win.fold(sr, p, lanes, !perCycleCI && lanes == simWindow)
 	}
 	return sr, nil
+}
+
+// runShardWide simulates `vectors` cycles 64 at a time: cycle base+k of
+// the shard lives in bit k of one uint64 per net. Inputs are drawn with
+// the shared window generator (packInputs, same rng order as the scalar
+// oracle), each gate is evaluated once per word (logic.EvalWide), and
+// transitions are counted with popcounts. Input-inverter toggles compare
+// lane k against lane k−1 via shift, carrying the last lane of the
+// previous word; bit 0 of the shard's first word is masked out because
+// the shard starts without input history. With perCycleCI the event
+// words additionally scatter weights into a per-lane power vector
+// (cells, then inverters, then outputs — the scalar oracle's
+// within-cycle order), one Welford sample per lane.
+func runShardWide(ctx context.Context, b *domino.Block, cfg Config, p *blockParams, perCycleCI bool, seed int64, vectors int) (*shardResult, error) {
+	net := b.Net
+	rng := rand.New(rand.NewSource(seed))
+
+	origWords := make([]uint64, len(cfg.InputProbs))
+	blockWords := make([]uint64, net.NumInputs())
+	prevBit := make([]uint64, net.NumInputs())
+	scratch := make([]uint64, net.NumNodes())
+	sr := newShardResult(b)
+	win := newWindow(b)
+	first := true
+	var lanePower [simWindow]float64
+	scatter := func(word uint64, weight float64) {
+		for t := word; t != 0; t &= t - 1 {
+			lanePower[bits.TrailingZeros64(t)] += weight
+		}
+	}
+
+	for done := 0; done < vectors; done += simWindow {
+		if done%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		lanes := vectors - done
+		if lanes > simWindow {
+			lanes = simWindow
+		}
+		mask := ^uint64(0) >> (64 - uint(lanes))
+
+		packInputs(rng, cfg.InputProbs, origWords)
+		for pos, bi := range b.Phase.Inputs {
+			v := origWords[bi.InputPos]
+			if bi.Inverted {
+				v = ^v
+			}
+			blockWords[pos] = v
+		}
+		values := net.EvalWide(blockWords, scratch)
+
+		if perCycleCI {
+			for k := range lanePower {
+				lanePower[k] = 0
+			}
+		}
+		for ci := range b.Cells {
+			if w := values[b.Cells[ci].Node] & mask; w != 0 {
+				win.cell[ci] = int32(bits.OnesCount64(w))
+				if perCycleCI {
+					scatter(w, p.weights[ci])
+				}
+			}
+		}
+		for _, pos := range p.invPos {
+			v := blockWords[pos]
+			diff := (v ^ (v<<1 | prevBit[pos])) & mask
+			if first {
+				diff &^= 1
+			}
+			if diff != 0 {
+				win.inv[pos] = int32(bits.OnesCount64(diff))
+				if perCycleCI {
+					scatter(diff, p.invLoad[pos])
+				}
+			}
+			prevBit[pos] = (v >> uint(lanes-1)) & 1
+		}
+		for _, oi := range p.negOut {
+			if w := values[p.drivers[oi]] & mask; w != 0 {
+				win.out[oi] = int32(bits.OnesCount64(w))
+				if perCycleCI {
+					scatter(w, p.outCap)
+				}
+			}
+		}
+		if perCycleCI {
+			for k := 0; k < lanes; k++ {
+				sr.perCycle.Add(lanePower[k])
+			}
+		}
+		first = false
+		win.fold(sr, p, lanes, !perCycleCI && lanes == simWindow)
+	}
+	return sr, nil
+}
+
+// runShard dispatches to the configured kernel; zero-vector shards (which
+// the sizing logic never produces, but belt and braces) return an empty
+// result rather than feeding the merge degenerate statistics. p is built
+// once per Run and shared read-only by all shard goroutines.
+func runShard(ctx context.Context, b *domino.Block, cfg Config, p *blockParams, perCycleCI bool, seed int64, vectors int) (*shardResult, error) {
+	if vectors <= 0 {
+		return newShardResult(b), nil
+	}
+	if cfg.Kernel == KernelScalar {
+		return runShardScalar(ctx, b, cfg, p, perCycleCI, seed, vectors)
+	}
+	return runShardWide(ctx, b, cfg, p, perCycleCI, seed, vectors)
 }
 
 // Run simulates the mapped block for cfg.Vectors cycles and returns the
@@ -179,45 +505,77 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 	if shards < 1 {
 		shards = 1
 	}
+	// Degenerate sizing: never create zero-vector shards. SplitRange
+	// clamps the same way; this keeps Run's shard count and the range
+	// list in lockstep.
 	if shards > vectors {
 		shards = vectors
 	}
 	ranges := par.SplitRange(vectors, shards)
+	p := newBlockParams(b)
+	// CI sampling mode is a run-level decision (all shards agree, so the
+	// merged Welford samples are homogeneous): batch means over full
+	// 64-cycle windows normally, genuine per-cycle samples when the
+	// smallest shard is too short to yield two full windows.
+	perCycleCI := vectors/shards < perCycleCIThreshold
 	results, err := par.Map(context.Background(), len(ranges), cfg.Workers,
 		func(ctx context.Context, s int) (*shardResult, error) {
-			return runShard(ctx, b, cfg, cfg.Seed+int64(s), ranges[s][1]-ranges[s][0])
+			return runShard(ctx, b, cfg, p, perCycleCI, cfg.Seed+int64(s), ranges[s][1]-ranges[s][0])
 		})
 	if err != nil {
 		return nil, err
 	}
 
-	// Reduce in shard order: integer sums are order-free, the float sums
-	// and the Welford merge are fixed by the index order, so the reduction
-	// is reproducible at any worker count.
+	// Reduce in shard order: integer counts are order-free and the
+	// Welford merge is fixed by the index order, so the reduction is
+	// reproducible at any worker count.
 	rep := &Report{Cycles: vectors, PerCellFreq: make([]float64, len(b.Cells))}
 	cellTrans := make([]int64, len(b.Cells))
+	invTrans := make([]int64, len(b.Phase.Inputs))
+	outTrans := make([]int64, len(b.Phase.Outputs))
 	var perCycle stats.Running
 	for _, sr := range results {
 		for ci, t := range sr.cellTrans {
 			cellTrans[ci] += t
 		}
-		rep.InputInvTransitions += sr.inputInvTransitions
-		rep.OutputInvTransitions += sr.outputInvTransitions
-		rep.DominoPower += sr.dominoPowerSum
-		rep.InputInvPower += sr.inputInvPowerSum
-		rep.OutputInvPower += sr.outputInvPowerSum
+		for pos, t := range sr.inputInvTrans {
+			invTrans[pos] += t
+		}
+		for oi, t := range sr.outputInvTrans {
+			outTrans[oi] += t
+		}
 		perCycle = stats.Merge(perCycle, sr.perCycle)
 	}
+	// Weight the merged integer counts once, in fixed index order — the
+	// power figures are exact functions of the counts, independent of
+	// kernel, shard execution order, and worker count.
 	for ci, t := range cellTrans {
 		rep.DominoTransitions += t
 		rep.PerCellFreq[ci] = float64(t) / float64(vectors)
+		rep.DominoPower += p.weights[ci] * float64(t)
+	}
+	for _, pos := range p.invPos {
+		rep.InputInvTransitions += invTrans[pos]
+		rep.InputInvPower += p.invLoad[pos] * float64(invTrans[pos])
+	}
+	for _, oi := range p.negOut {
+		rep.OutputInvTransitions += outTrans[oi]
+		rep.OutputInvPower += p.outCap * float64(outTrans[oi])
 	}
 	inv := 1.0 / float64(vectors)
 	rep.DominoPower *= inv
 	rep.InputInvPower *= inv
 	rep.OutputInvPower *= inv
 	rep.Total = rep.DominoPower + rep.InputInvPower + rep.OutputInvPower
-	rep.TotalCI = perCycle.Confidence(stats.Z95)
+	// Batch means estimate the sampling error; their plain average would
+	// over-weight a partial tail window, so the interval is centered on
+	// the exact count-derived Total instead.
+	ci := perCycle.Confidence(stats.Z95)
+	rep.TotalCI = stats.Interval{
+		Mean: rep.Total,
+		Low:  rep.Total - (ci.High - ci.Mean),
+		High: rep.Total + (ci.High - ci.Mean),
+	}
 	return rep, nil
 }
 

@@ -290,6 +290,7 @@ func BenchmarkRun(b *testing.B) {
 		b.Fatal(err)
 	}
 	probs := prob.Uniform(n, 0.5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(blk, Config{Vectors: 1024, Seed: 5, InputProbs: probs}); err != nil {
