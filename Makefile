@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench lint fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench lint fmt benchsuite
 
 all: lint build test
 
@@ -23,6 +23,14 @@ bench:
 # persisted as BENCH_2.json (uploaded as a CI artifact).
 kernelbench:
 	$(GO) run ./cmd/benchsuite -bench-out BENCH_2.json
+
+# Cone-table benchmark smoke: the cached-cone exhaustive phase search vs
+# the naive per-mask Apply+Estimate path on the synth12 twin, persisted
+# as BENCH_3.json (uploaded as a CI artifact). Exits non-zero if the two
+# scorers disagree, the winner varies with worker count, or the speedup
+# falls below 100x.
+conebench:
+	$(GO) run ./cmd/benchsuite -cone-bench-out BENCH_3.json
 
 lint:
 	$(GO) vet ./...

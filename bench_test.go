@@ -487,6 +487,45 @@ func BenchmarkExhaustiveSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkConeTableExhaustive runs the same search through the
+// cone-table scorer (ISSUE 3): one table build amortized over the full
+// 2^k scored scan, Apply only on the winner. Compare best_power and
+// wall-clock against BenchmarkExhaustiveSearch — the winner matches and
+// the per-mask cost drops from a full synthesis to a signature-gated
+// constant fold. The build subbenchmark isolates the one-time cost.
+func BenchmarkConeTableExhaustive(b *testing.B) {
+	net := parallelBenchNet()
+	probs := prob.Uniform(net, 0.5)
+	lib := domino.DefaultLibrary()
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := power.NewConeTable(net, lib, probs, power.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	table, err := power.NewConeTable(net, lib, probs, power.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("search/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var score float64
+			for i := 0; i < b.N; i++ {
+				_, _, s, err := phase.ExhaustiveScored(net, table, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				score = s
+			}
+			b.ReportMetric(score, "best_power")
+		})
+	}
+}
+
 // BenchmarkShardedSim compares the single-stream simulator against the
 // sharded engine at a fixed shard count and growing worker pools.
 func BenchmarkShardedSim(b *testing.B) {

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"time"
+
+	"repro/internal/domino"
+	"repro/internal/flow"
+	"repro/internal/phase"
+	"repro/internal/power"
+	"repro/internal/prob"
+)
+
+// ConeSearchRun is one full scored exhaustive search at a worker count.
+type ConeSearchRun struct {
+	Workers int     `json:"workers"`
+	WallSec float64 `json:"wall_seconds"`
+}
+
+// ConeSuite is the persisted BENCH_3.json document: the ISSUE 3
+// before/after record for the cone-table exhaustive phase search. The
+// "before" is the naive path — every mask re-synthesizes the block
+// (phase.Apply), re-maps it, and runs a fresh probability pass
+// (power.Estimate); its per-mask cost is measured over a sampled mask
+// prefix and extrapolated. The "after" is the full 2^k scored search,
+// including the one-time cone-table build. The run fails (non-zero
+// exit, so the CI smoke step gates on it) if the two scorers disagree
+// on any sampled mask or on the winner, or if any worker count changes
+// the winning (assignment, score), or if the speedup is below 100x.
+type ConeSuite struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	Circuit     string    `json:"circuit"`
+	Outputs     int       `json:"outputs"`
+	Masks       int       `json:"masks"`
+
+	TableBuildSec   float64         `json:"table_build_seconds"`
+	ConeRuns        []ConeSearchRun `json:"cone_runs"`
+	ConeNsPerMask   float64         `json:"cone_ns_per_mask"`
+	NaiveSample     int             `json:"naive_sample_masks"`
+	NaiveNsPerMask  float64         `json:"naive_ns_per_mask"`
+	NaiveFullSecEst float64         `json:"naive_full_seconds_estimated"`
+
+	// SpeedupX compares the naive full-search estimate against the
+	// 1-worker cone search including the table build — the ISSUE's
+	// ≥ 100x gate.
+	SpeedupX float64 `json:"speedup_x"`
+
+	WinnerAssignment string  `json:"winner_assignment"`
+	WinnerScore      float64 `json:"winner_score"`
+	WinnerNaiveScore float64 `json:"winner_naive_score"`
+	MaxRelDiff       float64 `json:"max_rel_diff"`
+}
+
+// relDiff is the relative disagreement between two scores.
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) / scale
+}
+
+// runConeBench measures the cone-table exhaustive phase search against
+// the naive per-mask path on the synth12 twin (k = 12, 4096 masks) and
+// writes BENCH_3.json to outPath.
+func runConeBench(outPath string) error {
+	const agreeTol = 1e-6
+	c := synth12Circuit()
+	net := flow.Prepare(c.Net)
+	k := net.NumOutputs()
+	if k < 12 {
+		return fmt.Errorf("conebench: twin has %d outputs, need >= 12", k)
+	}
+	total := 1 << uint(k)
+	lib := domino.DefaultLibrary()
+	probs := prob.Uniform(net, 0.5)
+	estOpts := power.Options{}
+
+	suite := ConeSuite{
+		GeneratedAt: time.Now().UTC(),
+		Circuit:     c.Name,
+		Outputs:     k,
+		Masks:       total,
+	}
+
+	// After: one cone-table build plus full scored searches.
+	t0 := time.Now()
+	table, err := power.NewConeTable(net, lib, probs, estOpts)
+	if err != nil {
+		return fmt.Errorf("conebench: %w", err)
+	}
+	suite.TableBuildSec = time.Since(t0).Seconds()
+
+	var winAsg phase.Assignment
+	var winScore float64
+	for _, workers := range []int{1, 2, 8} {
+		t0 = time.Now()
+		asg, _, score, err := phase.ExhaustiveScored(net, table, workers)
+		if err != nil {
+			return fmt.Errorf("conebench: scored search (workers=%d): %w", workers, err)
+		}
+		wall := time.Since(t0).Seconds()
+		suite.ConeRuns = append(suite.ConeRuns, ConeSearchRun{Workers: workers, WallSec: wall})
+		if winAsg == nil {
+			winAsg, winScore = asg, score
+		} else if !reflect.DeepEqual(asg, winAsg) || score != winScore {
+			return fmt.Errorf("conebench: winner drifted at workers=%d: (%s, %v) != (%s, %v)",
+				workers, asg, score, winAsg, winScore)
+		}
+	}
+	coneW1 := suite.ConeRuns[0].WallSec
+	suite.ConeNsPerMask = coneW1 * 1e9 / float64(total)
+	suite.WinnerAssignment = winAsg.String()
+	suite.WinnerScore = winScore
+
+	// Before: the naive per-mask Apply+Map+Estimate path, sampled over a
+	// mask prefix and extrapolated (a full naive sweep is exactly the
+	// cost this PR removes).
+	sample := 256
+	if sample > total {
+		sample = total
+	}
+	suite.NaiveSample = sample
+	eval := power.Evaluator(lib, probs, estOpts)
+	asg := make(phase.Assignment, k)
+	naiveStart := time.Now()
+	naiveScores := make([]float64, sample)
+	for mask := 0; mask < sample; mask++ {
+		for i := 0; i < k; i++ {
+			asg[i] = mask&(1<<uint(i)) != 0
+		}
+		res, err := phase.Apply(net, asg)
+		if err != nil {
+			return fmt.Errorf("conebench: naive Apply mask %d: %w", mask, err)
+		}
+		naiveScores[mask], err = eval(res)
+		if err != nil {
+			return fmt.Errorf("conebench: naive eval mask %d: %w", mask, err)
+		}
+	}
+	naiveWall := time.Since(naiveStart).Seconds()
+	suite.NaiveNsPerMask = naiveWall * 1e9 / float64(sample)
+	suite.NaiveFullSecEst = suite.NaiveNsPerMask * float64(total) / 1e9
+	suite.SpeedupX = suite.NaiveFullSecEst / (suite.TableBuildSec + coneW1)
+
+	// Agreement gate: cached-cone scores must match the naive scores on
+	// every sampled mask and on the winner.
+	for mask := 0; mask < sample; mask++ {
+		for i := 0; i < k; i++ {
+			asg[i] = mask&(1<<uint(i)) != 0
+		}
+		got, err := table.ScoreAssignment(asg)
+		if err != nil {
+			return err
+		}
+		if d := relDiff(got, naiveScores[mask]); d > suite.MaxRelDiff {
+			suite.MaxRelDiff = d
+		}
+	}
+	winRes, err := phase.Apply(net, winAsg)
+	if err != nil {
+		return err
+	}
+	suite.WinnerNaiveScore, err = eval(winRes)
+	if err != nil {
+		return err
+	}
+	if d := relDiff(winScore, suite.WinnerNaiveScore); d > suite.MaxRelDiff {
+		suite.MaxRelDiff = d
+	}
+	if suite.MaxRelDiff > agreeTol {
+		return fmt.Errorf("conebench: cone-table and naive evaluator disagree: max rel diff %v > %v",
+			suite.MaxRelDiff, agreeTol)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("cone table build      %10.2f ms\n", suite.TableBuildSec*1e3)
+	for _, r := range suite.ConeRuns {
+		fmt.Printf("cone search w=%d       %10.2f ms (%d masks)\n", r.Workers, r.WallSec*1e3, total)
+	}
+	fmt.Printf("cone per mask         %10.0f ns\n", suite.ConeNsPerMask)
+	fmt.Printf("naive per mask        %10.0f ns (sampled %d)\n", suite.NaiveNsPerMask, sample)
+	fmt.Printf("winner %s score %.6f (naive %.6f, max rel diff %.2e)\n",
+		suite.WinnerAssignment, suite.WinnerScore, suite.WinnerNaiveScore, suite.MaxRelDiff)
+	fmt.Printf("speedup: %.0fx -> %s\n", suite.SpeedupX, outPath)
+
+	if suite.SpeedupX < 100 {
+		return fmt.Errorf("conebench: speedup %.1fx below the 100x gate", suite.SpeedupX)
+	}
+	return nil
+}

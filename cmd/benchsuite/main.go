@@ -13,6 +13,12 @@
 // kernels (scalar reference vs 64-lane bit-parallel) and the map-free
 // BDD engine in-process and writes ns/op + allocs/op to PATH
 // (BENCH_2.json in CI) — the benchmark smoke artifact.
+//
+// With -cone-bench-out PATH it measures the cone-table exhaustive phase
+// search against the naive per-mask Apply+Estimate path on the synth12
+// twin, verifies the two scorers agree and the winner is invariant
+// across worker counts, and writes the record to PATH (BENCH_3.json in
+// CI), failing below a 100x speedup.
 package main
 
 import (
@@ -68,17 +74,25 @@ var objectives = []struct {
 	{"Exhaustive", core.ExhaustivePower},
 }
 
-// suiteCircuits returns the Table 1 twins plus two mid-width synthetic
-// circuits whose 2^10 and 2^12 phase spaces keep the exhaustive
-// objective feasible (the industry twins' 86–199 outputs never are).
+// synth10Circuit and synth12Circuit are mid-width synthetic circuits
+// whose 2^10 and 2^12 phase spaces keep the exhaustive objective
+// feasible (the industry twins' 86–199 outputs never are). synth12 is
+// also the k ≥ 12 twin the cone-table exhaustive benchmark (BENCH_3)
+// measures.
+func synth10Circuit() gen.NamedCircuit {
+	return gen.NamedCircuit{Name: "synth10", Desc: "Synthetic (exhaustive-feasible)",
+		Net: gen.Generate(gen.Params{Name: "synth10", Inputs: 16, Outputs: 10, Gates: 110, Seed: 0x510, OrProb: 0.65})}
+}
+
+func synth12Circuit() gen.NamedCircuit {
+	return gen.NamedCircuit{Name: "synth12", Desc: "Synthetic (exhaustive-feasible)",
+		Net: gen.Generate(gen.Params{Name: "synth12", Inputs: 18, Outputs: 12, Gates: 130, Seed: 0x512, OrProb: 0.6})}
+}
+
+// suiteCircuits returns the Table 1 twins plus the two exhaustive-
+// feasible synthetic circuits.
 func suiteCircuits() []gen.NamedCircuit {
-	extra := []gen.NamedCircuit{
-		{Name: "synth10", Desc: "Synthetic (exhaustive-feasible)",
-			Net: gen.Generate(gen.Params{Name: "synth10", Inputs: 16, Outputs: 10, Gates: 110, Seed: 0x510, OrProb: 0.65})},
-		{Name: "synth12", Desc: "Synthetic (exhaustive-feasible)",
-			Net: gen.Generate(gen.Params{Name: "synth12", Inputs: 18, Outputs: 12, Gates: 130, Seed: 0x512, OrProb: 0.6})},
-	}
-	return append(gen.Table1Circuits(), extra...)
+	return append(gen.Table1Circuits(), synth10Circuit(), synth12Circuit())
 }
 
 func main() {
@@ -91,10 +105,17 @@ func main() {
 	shards := flag.Int("shards", 8, "simulation shards (results depend on seed+shards, not workers)")
 	exLimit := flag.Int("exhaustive-limit", 14, "skip the Exhaustive objective beyond this many outputs")
 	benchOut := flag.String("bench-out", "", "kernel-benchmark mode: measure the scalar vs bit-parallel sim kernels and the BDD engine, write the JSON record to this path (e.g. BENCH_2.json), and exit without sweeping")
+	coneBenchOut := flag.String("cone-bench-out", "", "cone-table benchmark mode: measure the cached-cone exhaustive phase search against the naive per-mask Apply+Estimate path on the synth12 twin, verify both agree and that the winner is worker-invariant, write the JSON record to this path (e.g. BENCH_3.json), and exit without sweeping")
 	flag.Parse()
 
 	if *benchOut != "" {
 		if err := runKernelBench(*benchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *coneBenchOut != "" {
+		if err := runConeBench(*coneBenchOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -161,6 +161,52 @@ func NewWithOrderSized(numVars int, order []int, sizeHint int) *Manager {
 // NumVars returns the number of variables the manager was created with.
 func (m *Manager) NumVars() int { return len(m.varAtLevel) }
 
+// Reset clears the manager in place — node storage is truncated to the
+// two terminals, the unique table is emptied and the operation caches are
+// invalidated — while every allocation (node chunks, tables, caches) is
+// retained for reuse. A reset manager behaves exactly like a freshly
+// constructed one over the same variables and order: because builds are
+// deterministic, re-running the same construction yields the same Refs,
+// node counts, and probabilities, without re-paying the allocations.
+// This is what lets per-cone probability passes recycle one manager
+// instead of allocating a fresh forest per cone.
+func (m *Manager) Reset() {
+	m.nodes = m.nodes[:2]
+	numVars := int32(m.NumVars())
+	m.nodes[False] = node{level: numVars, lo: False, hi: False}
+	m.nodes[True] = node{level: numVars, lo: True, hi: True}
+	for i := range m.unique {
+		m.unique[i] = False
+	}
+	m.uniqueCount = 0
+	for i := range m.ite {
+		m.ite[i] = iteEntry{}
+	}
+	for i := range m.binop {
+		m.binop[i] = binopEntry{}
+	}
+}
+
+// ResetWithOrder is Reset with a new variable order (a permutation of the
+// manager's 0..NumVars-1 variables) installed, so one manager can serve a
+// sequence of builds that each want their own order.
+func (m *Manager) ResetWithOrder(order []int) {
+	if len(order) != m.NumVars() {
+		panic(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), m.NumVars()))
+	}
+	m.Reset()
+	for v := range m.levelOfVar {
+		m.levelOfVar[v] = -1
+	}
+	for l, v := range order {
+		if v < 0 || v >= m.NumVars() || m.levelOfVar[v] >= 0 {
+			panic(fmt.Sprintf("bdd: order is not a permutation at position %d", l))
+		}
+		m.varAtLevel[l] = int32(v)
+		m.levelOfVar[v] = int32(l)
+	}
+}
+
 // Size returns the total number of allocated nodes including terminals.
 func (m *Manager) Size() int { return len(m.nodes) }
 

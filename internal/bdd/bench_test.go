@@ -55,6 +55,30 @@ func BenchmarkBDDBuild(b *testing.B) {
 	b.ReportMetric(float64(nodes), "bdd_nodes")
 }
 
+// BenchmarkBDDBuildReset is BenchmarkBDDBuild with one manager recycled
+// via Reset across iterations — the per-cone reuse pattern of the
+// cone-table precompute. Compare allocs/op against BenchmarkBDDBuild:
+// table, cache, and chunk allocations are paid once, not per build.
+func BenchmarkBDDBuildReset(b *testing.B) {
+	n := bddBenchNet()
+	m := New(n.NumInputs())
+	// Prime the manager so steady-state iterations re-use full-size tables.
+	if _, err := BuildNetworkLitsIn(m, n, n.NumInputs(), nil, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		nb, err := BuildNetworkLitsIn(m, n, n.NumInputs(), nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = nb.Manager.Size()
+	}
+	b.ReportMetric(float64(nodes), "bdd_nodes")
+}
+
 // BenchmarkBDDProbability measures the linear-pass probability evaluation
 // over a prebuilt forest (the per-candidate cost inside phase.MinPower).
 func BenchmarkBDDProbability(b *testing.B) {

@@ -43,6 +43,17 @@ func BuildNetwork(n *logic.Network, order []int) (*NetworkBDDs, error) {
 // numVars == NumInputs). order is a permutation of the numVars variables
 // (nil for natural).
 func BuildNetworkLits(n *logic.Network, numVars int, lits []InputLit, order []int) (*NetworkBDDs, error) {
+	return BuildNetworkLitsIn(nil, n, numVars, lits, order)
+}
+
+// BuildNetworkLitsIn is BuildNetworkLits building into an existing
+// manager: m is Reset (with the requested order installed) and reused,
+// so a caller constructing BDDs for many networks over the same variable
+// space — per-cone probability passes, the per-mask exact estimator —
+// recycles one manager's storage instead of allocating a forest per
+// build. m must have exactly numVars variables; a nil m allocates a
+// fresh manager, making this a drop-in superset of BuildNetworkLits.
+func BuildNetworkLitsIn(m *Manager, n *logic.Network, numVars int, lits []InputLit, order []int) (*NetworkBDDs, error) {
 	if lits != nil && len(lits) != n.NumInputs() {
 		return nil, fmt.Errorf("bdd: %d literals for %d inputs", len(lits), n.NumInputs())
 	}
@@ -55,7 +66,14 @@ func BuildNetworkLits(n *logic.Network, numVars int, lits []InputLit, order []in
 			order[i] = i
 		}
 	}
-	m := NewWithOrder(numVars, order)
+	if m == nil {
+		m = NewWithOrder(numVars, order)
+	} else {
+		if m.NumVars() != numVars {
+			return nil, fmt.Errorf("bdd: manager has %d vars, build needs %d", m.NumVars(), numVars)
+		}
+		m.ResetWithOrder(order)
+	}
 	refs := make([]Ref, n.NumNodes())
 	inputVar := make(map[logic.NodeID]int, n.NumInputs())
 	var inputNeg []bool

@@ -1,0 +1,87 @@
+package bdd
+
+import (
+	"testing"
+)
+
+// TestResetReproducesBuild pins the Reset contract: a reset manager must
+// reproduce a fresh manager's build exactly — same Refs, same node
+// counts, same probabilities — because the cone-table precompute and the
+// reusable estimator rely on Reset being observationally identical to
+// constructing a new manager.
+func TestResetReproducesBuild(t *testing.T) {
+	n := bddBenchNet()
+	probs := make([]float64, n.NumInputs())
+	for i := range probs {
+		probs[i] = 0.3 + 0.4*float64(i)/float64(len(probs))
+	}
+
+	fresh, err := BuildNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProbs := fresh.Manager.ProbabilityMany(fresh.NodeRefs, probs)
+	wantSize := fresh.Manager.Size()
+
+	m := New(n.NumInputs())
+	// Dirty the manager with an unrelated build, then reset and rebuild.
+	if _, err := BuildNetworkLitsIn(m, n, n.NumInputs(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		nb, err := BuildNetworkLitsIn(m, n, n.NumInputs(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nb.Manager != m {
+			t.Fatal("BuildNetworkLitsIn did not reuse the manager")
+		}
+		if got := m.Size(); got != wantSize {
+			t.Fatalf("round %d: reset build has %d nodes, fresh build %d", round, got, wantSize)
+		}
+		for i, r := range nb.NodeRefs {
+			if r != fresh.NodeRefs[i] {
+				t.Fatalf("round %d: node %d Ref %d != fresh Ref %d", round, i, r, fresh.NodeRefs[i])
+			}
+		}
+		got := m.ProbabilityMany(nb.NodeRefs, probs)
+		for i := range got {
+			if got[i] != wantProbs[i] {
+				t.Fatalf("round %d: node %d probability %v != fresh %v", round, i, got[i], wantProbs[i])
+			}
+		}
+	}
+}
+
+// TestResetWithOrderInstallsOrder checks that ResetWithOrder both clears
+// the forest and re-levels the variables.
+func TestResetWithOrderInstallsOrder(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.NVar(3)))
+	if f == False || f == True {
+		t.Fatal("expected a non-terminal build")
+	}
+	rev := []int{3, 2, 1, 0}
+	m.ResetWithOrder(rev)
+	if m.Size() != 2 {
+		t.Fatalf("reset manager has %d nodes, want 2 terminals", m.Size())
+	}
+	for l, v := range rev {
+		if m.LevelOf(v) != l {
+			t.Fatalf("variable %d at level %d, want %d", v, m.LevelOf(v), l)
+		}
+	}
+	want := NewWithOrder(4, rev)
+	got := m.And(m.Var(0), m.Or(m.Var(1), m.NVar(3)))
+	ref := want.And(want.Var(0), want.Or(want.Var(1), want.NVar(3)))
+	if got != ref {
+		t.Fatalf("rebuild under new order: Ref %d != fresh manager's %d", got, ref)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ResetWithOrder accepted a non-permutation")
+		}
+	}()
+	m.ResetWithOrder([]int{0, 0, 1, 2})
+}

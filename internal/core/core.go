@@ -78,6 +78,11 @@ type Options struct {
 	// zero value is the bit-parallel one. Like Workers, it never changes
 	// results — only wall-clock.
 	SimKernel sim.Kernel
+	// PhaseScoring selects the candidate-scoring engine of the
+	// power-driven phase searches (see flow.PhaseScoring; the zero value
+	// precomputes the cone table and scores assignments from cached
+	// per-cone terms, synthesizing only kept candidates).
+	PhaseScoring flow.PhaseScoring
 }
 
 // Result bundles the synthesized implementation and its measurements.
@@ -128,16 +133,31 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: %d input probs for %d inputs", len(probs), prepared.NumInputs())
 	}
 
+	// The power objectives score candidates from the cone table unless
+	// the naive per-candidate synthesize-and-estimate path is requested.
+	var scorer phase.AssignmentScorer
+	if opts.Objective != MinArea && opts.PhaseScoring != flow.ScoreNaive {
+		table, tErr := power.NewConeTable(prepared, lib, probs, power.Options{})
+		if tErr != nil {
+			return nil, fmt.Errorf("core: cone table: %w", tErr)
+		}
+		scorer = table
+	}
+
 	var asg phase.Assignment
 	var res *phase.Result
 	var err error
 	switch opts.Objective {
 	case MinPower:
-		asg, res, _, _, err = phase.MinPower(prepared, phase.PowerOptions{
+		popts := phase.PowerOptions{
 			InputProbs: probs,
-			Evaluate:   power.Evaluator(lib, probs, power.Options{}),
+			Scorer:     scorer,
 			MaxPairs:   opts.MaxPairs,
-		})
+		}
+		if scorer == nil {
+			popts.Evaluate = power.NewEstimator(lib, probs, power.Options{}).Evaluate
+		}
+		asg, res, _, _, err = phase.MinPower(prepared, popts)
 	case MinArea:
 		asg, res, _, err = phase.MinArea(prepared, phase.SearchOptions{
 			Workers: opts.Workers,
@@ -150,7 +170,11 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 			},
 		})
 	case ExhaustivePower:
-		asg, res, _, err = phase.ExhaustiveParallel(prepared, power.Evaluator(lib, probs, power.Options{}), opts.Workers)
+		if scorer != nil {
+			asg, res, _, err = phase.ExhaustiveScored(prepared, scorer, opts.Workers)
+		} else {
+			asg, res, _, err = phase.ExhaustiveParallel(prepared, power.Evaluator(lib, probs, power.Options{}), opts.Workers)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown objective %d", opts.Objective)
 	}

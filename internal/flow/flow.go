@@ -26,6 +26,23 @@ import (
 	"repro/internal/timing"
 )
 
+// PhaseScoring selects how power-driven phase searches (MP and the
+// exhaustive power objective) score candidate assignments.
+type PhaseScoring int
+
+// Phase-scoring modes.
+const (
+	// ScoreConeTable — the default — precomputes a power.ConeTable (both
+	// phases of every output cone synthesized and priced once) and scores
+	// each candidate assignment by cached-term summation; Apply runs only
+	// on assignments the search keeps. Results match ScoreNaive's up to
+	// float summation order. Every probability engine is supported.
+	ScoreConeTable PhaseScoring = iota
+	// ScoreNaive synthesizes and estimates every candidate from scratch —
+	// the pre-cone-table behavior, kept as the reference oracle.
+	ScoreNaive
+)
+
 // Config parameterizes the flows. The zero value is completed by
 // defaults().
 type Config struct {
@@ -70,6 +87,9 @@ type Config struct {
 	// zero value is the bit-parallel one. Like Workers, it never changes
 	// results — only wall-clock.
 	SimKernel sim.Kernel
+	// PhaseScoring selects the candidate-scoring engine of the
+	// power-driven phase searches (zero value: the cone table).
+	PhaseScoring PhaseScoring
 }
 
 func (c *Config) defaults() {
@@ -194,16 +214,41 @@ func SynthesizeMA(net *logic.Network, cfg Config) (*Synthesis, error) {
 	return finishSynthesis(asg, res, net, cfg)
 }
 
+// phaseScorer builds the candidate scorer of the configured scoring
+// mode: the cone table by default, nil (meaning: use an Evaluate
+// fallback) under ScoreNaive.
+func phaseScorer(net *logic.Network, probs []float64, cfg Config) (phase.AssignmentScorer, error) {
+	if cfg.PhaseScoring == ScoreNaive {
+		return nil, nil
+	}
+	table, err := power.NewConeTable(net, *cfg.Lib, probs, cfg.EstOpts)
+	if err != nil {
+		return nil, fmt.Errorf("flow: cone table: %w", err)
+	}
+	return table, nil
+}
+
 // SynthesizeMP runs the paper's minimum-power heuristic on a prepared
 // network.
 func SynthesizeMP(net *logic.Network, cfg Config) (*Synthesis, error) {
 	cfg.defaults()
 	probs := uniformProbs(net, cfg.InputProb)
-	asg, res, est, _, err := phase.MinPower(net, phase.PowerOptions{
+	popts := phase.PowerOptions{
 		InputProbs: probs,
-		Evaluate:   power.Evaluator(*cfg.Lib, probs, cfg.EstOpts),
 		MaxPairs:   cfg.MaxPairs,
-	})
+	}
+	scorer, err := phaseScorer(net, probs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if scorer != nil {
+		popts.Scorer = scorer
+	} else {
+		// Sequential heuristic: the estimator's reusable BDD manager
+		// saves a forest allocation per candidate, bit-identically.
+		popts.Evaluate = power.NewEstimator(*cfg.Lib, probs, cfg.EstOpts).Evaluate
+	}
+	asg, res, est, _, err := phase.MinPower(net, popts)
 	if err != nil {
 		return nil, fmt.Errorf("flow: MinPower: %w", err)
 	}

@@ -84,11 +84,20 @@ func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
 				Workers:         cfg.Workers,
 			})
 		case "power":
-			asg, res, _, _, err = phase.MinPower(net, phase.PowerOptions{
+			popts := phase.PowerOptions{
 				InputProbs: blockProbs,
-				Evaluate:   power.Evaluator(*cfg.Lib, blockProbs, cfg.EstOpts),
 				MaxPairs:   cfg.MaxPairs,
-			})
+			}
+			var scorer phase.AssignmentScorer
+			if scorer, err = phaseScorer(net, blockProbs, cfg); err != nil {
+				return nil, err
+			}
+			if scorer != nil {
+				popts.Scorer = scorer
+			} else {
+				popts.Evaluate = power.NewEstimator(*cfg.Lib, blockProbs, cfg.EstOpts).Evaluate
+			}
+			asg, res, _, _, err = phase.MinPower(net, popts)
 		}
 		if err != nil {
 			return nil, err

@@ -103,3 +103,14 @@ func PenalizedEvaluator(cfg Config, andPenalty float64, probs []float64) phase.E
 	lib.AndPenalty = andPenalty
 	return power.Evaluator(lib, probs, cfg.EstOpts)
 }
+
+// PenalizedScorer is PenalizedEvaluator's cone-table counterpart: the
+// penalized objective precomputed for scored searches (the AND-stack tax
+// is cached per cell in the table's 1+P_i terms, so the timing-aware
+// objective scores as cheaply as the plain one).
+func PenalizedScorer(net *logic.Network, cfg Config, andPenalty float64, probs []float64) (phase.AssignmentScorer, error) {
+	cfg.defaults()
+	lib := *cfg.Lib
+	lib.AndPenalty = andPenalty
+	return power.NewConeTable(net, lib, probs, cfg.EstOpts)
+}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/gen"
@@ -79,5 +80,45 @@ func TestPenalizedEvaluatorTaxesAnds(t *testing.T) {
 	}
 	if p1 <= p0 {
 		t.Errorf("taxed evaluator (%v) not above plain (%v) on AND-heavy block", p1, p0)
+	}
+}
+
+// TestPenalizedScorerMatchesEvaluator pins the cone-table counterpart:
+// for every assignment of the OR-heavy circuit, the penalized scorer
+// reproduces the penalized evaluator's score (the AND-stack tax is
+// cached in the table's 1+P_i terms), and the tax ordering carries over.
+func TestPenalizedScorerMatchesEvaluator(t *testing.T) {
+	c := smallOrHeavy()
+	net := Prepare(c.Net)
+	probs := uniformProbs(net, 0.5)
+	cfg := Config{}
+	cfg.defaults()
+	const tax = 0.5
+	eval := PenalizedEvaluator(cfg, tax, probs)
+	scorer, err := PenalizedScorer(net, cfg, tax, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := net.NumOutputs()
+	asg := make(phase.Assignment, k)
+	for mask := 0; mask < 1<<uint(k); mask++ {
+		for i := 0; i < k; i++ {
+			asg[i] = mask&(1<<uint(i)) != 0
+		}
+		got, err := scorer.ScoreAssignment(asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := phase.Apply(net, asg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eval(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("mask %d: penalized scorer %v != evaluator %v", mask, got, want)
+		}
 	}
 }

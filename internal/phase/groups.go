@@ -40,8 +40,8 @@ func MinPowerGroups(n *logic.Network, opts PowerOptions, groupSize int) (Assignm
 	if len(opts.InputProbs) != n.NumInputs() {
 		return nil, nil, 0, nil, fmt.Errorf("phase: %d input probs for %d inputs", len(opts.InputProbs), n.NumInputs())
 	}
-	if opts.Evaluate == nil {
-		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate is required")
+	if opts.Evaluate == nil && opts.Scorer == nil {
+		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate or Scorer is required")
 	}
 	probFn := opts.Probs
 	if probFn == nil {
@@ -61,7 +61,7 @@ func MinPowerGroups(n *logic.Network, opts PowerOptions, groupSize int) (Assignm
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
-	power, err := opts.Evaluate(res)
+	power, err := opts.scoreResult(res)
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
@@ -134,17 +134,18 @@ func MinPowerGroups(n *logic.Network, opts PowerOptions, groupSize int) (Assignm
 				candidate[oi] = !candidate[oi]
 			}
 		}
-		cRes, err := Apply(n, candidate)
-		if err != nil {
-			return nil, nil, 0, nil, err
-		}
-		cPower, err := opts.Evaluate(cRes)
+		cPower, cRes, err := opts.scoreCandidate(n, candidate)
 		if err != nil {
 			return nil, nil, 0, nil, err
 		}
 		step.Power = cPower
 		if cPower < power {
 			step.Committed = true
+			if cRes == nil {
+				if cRes, err = Apply(n, candidate); err != nil {
+					return nil, nil, 0, nil, err
+				}
+			}
 			current, res, power = candidate, cRes, cPower
 			cands, err = rank()
 			if err != nil {

@@ -57,8 +57,15 @@ type PowerOptions struct {
 	// InputProbs gives the signal probability of each original primary
 	// input (by position). Required.
 	InputProbs []float64
-	// Evaluate measures the power of a candidate synthesis. Required.
+	// Evaluate measures the power of a candidate synthesis. Required
+	// unless Scorer is set.
 	Evaluate Evaluator
+	// Scorer, when set, scores candidate assignments directly from
+	// per-cone precomputed state (see power.ConeTable) instead of
+	// synthesizing and estimating every trial; Apply then runs only on
+	// committed assignments. Scorer takes precedence over Evaluate for
+	// all candidate scoring.
+	Scorer AssignmentScorer
 	// Initial is the starting assignment (default all-positive).
 	Initial Assignment
 	// Probs computes block node probabilities for the cost function
@@ -68,6 +75,30 @@ type PowerOptions struct {
 	// means all pairs. When bounded, pairs with the largest cone overlap
 	// are kept, since those are the ones whose phase interaction matters.
 	MaxPairs int
+}
+
+// scoreResult scores an already synthesized assignment under the
+// options' objective (Scorer wins over Evaluate).
+func (o *PowerOptions) scoreResult(res *Result) (float64, error) {
+	if o.Scorer != nil {
+		return o.Scorer.ScoreAssignment(res.Assignment)
+	}
+	return o.Evaluate(res)
+}
+
+// scoreCandidate scores a trial assignment; the Result is synthesized
+// only on the evaluator path (nil otherwise — commit paths Apply lazily).
+func (o *PowerOptions) scoreCandidate(n *logic.Network, asg Assignment) (float64, *Result, error) {
+	if o.Scorer != nil {
+		score, err := o.Scorer.ScoreAssignment(asg)
+		return score, nil, err
+	}
+	res, err := Apply(n, asg)
+	if err != nil {
+		return 0, nil, err
+	}
+	score, err := o.Evaluate(res)
+	return score, res, err
 }
 
 // MinPower runs the paper's power-driven phase assignment heuristic:
@@ -87,8 +118,8 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 	if len(opts.InputProbs) != n.NumInputs() {
 		return nil, nil, 0, nil, fmt.Errorf("phase: %d input probs for %d inputs", len(opts.InputProbs), n.NumInputs())
 	}
-	if opts.Evaluate == nil {
-		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate is required")
+	if opts.Evaluate == nil && opts.Scorer == nil {
+		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate or Scorer is required")
 	}
 	probFn := opts.Probs
 	if probFn == nil {
@@ -108,7 +139,7 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
-	power, err := opts.Evaluate(res)
+	power, err := opts.scoreResult(res)
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}
@@ -197,17 +228,20 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 			trace = append(trace, step)
 			continue
 		}
-		cRes, err := Apply(n, candidate)
-		if err != nil {
-			return nil, nil, 0, nil, err
-		}
-		cPower, err := opts.Evaluate(cRes)
+		cPower, cRes, err := opts.scoreCandidate(n, candidate)
 		if err != nil {
 			return nil, nil, 0, nil, err
 		}
 		step.Power = cPower
 		if cPower < power {
 			step.Committed = true
+			if cRes == nil {
+				// Scored path: synthesize only now that we commit (the
+				// re-rank below needs the block's cones).
+				if cRes, err = Apply(n, candidate); err != nil {
+					return nil, nil, 0, nil, err
+				}
+			}
 			current, res, power = candidate, cRes, cPower
 			// The circuit changed: probabilities, cones and overlaps are
 			// stale. Re-rank the surviving pairs.

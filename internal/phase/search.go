@@ -13,18 +13,43 @@ import (
 // cell-count evaluator, MinPower a power estimate.
 type Evaluator func(*Result) (float64, error)
 
+// AssignmentScorer scores a phase assignment directly — without
+// synthesizing a Result — from state precomputed once per network (see
+// power.ConeTable for the power instance). Searches that accept one call
+// Apply only on the assignments they keep, which is what turns the
+// 2^k·(Apply+Estimate) exhaustive search into 2k cone evaluations plus
+// cheap arithmetic per mask.
+//
+// ScoreAssignment must be a pure function of the assignment: the same
+// assignment always yields the bit-identical score, regardless of call
+// order — that is what keeps sharded searches deterministic. A scorer
+// value is not required to be safe for concurrent use; Fork returns an
+// independently usable scorer sharing the same immutable precomputed
+// state (Fork itself must be safe to call concurrently).
+type AssignmentScorer interface {
+	ScoreAssignment(asg Assignment) (float64, error)
+	Fork() AssignmentScorer
+}
+
 // AreaEvaluator scores a result by block gate count plus boundary
 // inverters — the standard-cell count proxy used for the "MA" baseline.
 func AreaEvaluator(r *Result) (float64, error) {
 	return float64(r.Block.GateCount() + r.InputInverterCount() + r.OutputInverterCount()), nil
 }
 
+// setMask expands mask bit i into the phase of output i, reusing the
+// receiver — the per-mask Assignment allocation this avoids used to
+// dominate scored-search shard time.
+func (a Assignment) setMask(mask int) {
+	for i := range a {
+		a[i] = mask&(1<<uint(i)) != 0
+	}
+}
+
 // maskAssignment expands mask bit i into the phase of output i.
 func maskAssignment(mask, k int) Assignment {
 	asg := make(Assignment, k)
-	for i := 0; i < k; i++ {
-		asg[i] = mask&(1<<uint(i)) != 0
-	}
+	asg.setMask(mask)
 	return asg
 }
 
@@ -51,15 +76,18 @@ func (c *candidate) better(incumbent *candidate) bool {
 }
 
 // scanMasks evaluates masks [lo, hi) in ascending order and returns the
-// best candidate of the range. ctx aborts the scan between masks.
+// best candidate of the range. ctx aborts the scan between masks. One
+// assignment buffer serves the whole range (Apply clones it into every
+// Result it returns).
 func scanMasks(ctx context.Context, n *logic.Network, eval Evaluator, k, lo, hi int) (*candidate, error) {
 	var best *candidate
+	buf := make(Assignment, k)
 	for mask := lo; mask < hi; mask++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		asg := maskAssignment(mask, k)
-		res, err := Apply(n, asg)
+		buf.setMask(mask)
+		res, err := Apply(n, buf)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +95,7 @@ func scanMasks(ctx context.Context, n *logic.Network, eval Evaluator, k, lo, hi 
 		if err != nil {
 			return nil, err
 		}
-		c := &candidate{Mask: mask, Asg: asg, Res: res, Score: score}
+		c := &candidate{Mask: mask, Asg: res.Assignment, Res: res, Score: score}
 		if c.better(best) {
 			best = c
 		}
@@ -122,6 +150,75 @@ func ExhaustiveParallel(n *logic.Network, eval Evaluator, workers int) (Assignme
 	return best.Asg, best.Res, best.Score, nil
 }
 
+// scoredBest is one shard's winner in a scored exhaustive scan.
+type scoredBest struct {
+	mask  int
+	score float64
+	ok    bool
+}
+
+// ExhaustiveScored is ExhaustiveParallel scoring each mask through an
+// AssignmentScorer instead of synthesizing it: every shard forks the
+// scorer once, reuses one assignment buffer across its whole mask range,
+// and only the overall winning mask performs a real Apply to materialize
+// the returned Result.
+//
+// The determinism contract matches ExhaustiveParallel's: ascending-mask
+// shard scans, shard-order reduction, lowest mask wins score ties — and
+// because ScoreAssignment is a pure function of the assignment, the
+// returned (assignment, score) is bit-identical for every worker count.
+func ExhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int) (Assignment, *Result, float64, error) {
+	if scorer == nil {
+		return nil, nil, 0, fmt.Errorf("phase: ExhaustiveScored requires a scorer")
+	}
+	k := n.NumOutputs()
+	if k > 20 {
+		return nil, nil, 0, fmt.Errorf("phase: exhaustive search over %d outputs is infeasible", k)
+	}
+	total := 1 << uint(k)
+	w := par.Workers(workers)
+	ranges := par.SplitRange(total, w*4)
+	bests, err := par.Map(context.Background(), len(ranges), w,
+		func(ctx context.Context, s int) (scoredBest, error) {
+			sc := scorer.Fork()
+			buf := make(Assignment, k)
+			var best scoredBest
+			for mask := ranges[s][0]; mask < ranges[s][1]; mask++ {
+				if err := ctx.Err(); err != nil {
+					return scoredBest{}, err
+				}
+				buf.setMask(mask)
+				score, err := sc.ScoreAssignment(buf)
+				if err != nil {
+					return scoredBest{}, err
+				}
+				// Ascending scan + strict < keeps the lowest tied mask.
+				if !best.ok || score < best.score {
+					best = scoredBest{mask: mask, score: score, ok: true}
+				}
+			}
+			return best, nil
+		})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var best scoredBest
+	for _, b := range bests {
+		if b.ok && (!best.ok || b.score < best.score) {
+			best = b
+		}
+	}
+	if !best.ok {
+		return nil, nil, 0, fmt.Errorf("phase: exhaustive search produced no candidate")
+	}
+	asg := maskAssignment(best.mask, k)
+	res, err := Apply(n, asg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return asg, res, best.score, nil
+}
+
 // SearchOptions configures MinArea's search.
 type SearchOptions struct {
 	// ExhaustiveLimit: exhaustive search is used when the output count is
@@ -135,6 +232,11 @@ type SearchOptions struct {
 	Seed int64
 	// Eval overrides the objective (default AreaEvaluator).
 	Eval Evaluator
+	// Scorer, when set, overrides Eval: candidate assignments are scored
+	// directly (no per-candidate Apply) and only kept assignments are
+	// synthesized. Exhaustive search then runs through ExhaustiveScored
+	// and the greedy fallback descends on scores alone.
+	Scorer AssignmentScorer
 	// Workers bounds the search's worker pool (0 = GOMAXPROCS, 1 =
 	// sequential). The result is identical for every worker count; Eval
 	// must be safe for concurrent use on distinct Results when > 1.
@@ -156,10 +258,14 @@ func (o *SearchOptions) defaults() {
 // MinArea finds a phase assignment minimizing cell count, the baseline
 // "MA" flow of the paper (Puri et al. [15] report an exact algorithm; we
 // use exhaustive search where feasible — it is exact — and greedy descent
-// with restarts beyond that).
+// with restarts beyond that). Despite the name it is a generic search
+// driver: SearchOptions.Eval or .Scorer swaps in any objective.
 func MinArea(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
 	opts.defaults()
 	if n.NumOutputs() <= opts.ExhaustiveLimit {
+		if opts.Scorer != nil {
+			return ExhaustiveScored(n, opts.Scorer, opts.Workers)
+		}
 		return ExhaustiveParallel(n, opts.Eval, opts.Workers)
 	}
 	return greedyDescent(n, opts)
@@ -171,42 +277,49 @@ func MinArea(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64
 // rng) are generated up front in a fixed order and descended concurrently
 // on the option's worker pool; the winner is reduced in start order with
 // earlier starts winning ties, so the outcome matches a sequential run of
-// the same starts exactly.
+// the same starts exactly. Only the winning assignment is synthesized
+// into the returned Result (Apply is deterministic, so re-applying the
+// winner reproduces the block any descent step saw).
 func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	k := n.NumOutputs()
 
-	descend := func(asg Assignment) (Assignment, *Result, float64, error) {
+	// score evaluates one assignment under the configured objective; the
+	// scored path skips the per-candidate Apply entirely.
+	score := func(sc AssignmentScorer, asg Assignment) (float64, error) {
+		if sc != nil {
+			return sc.ScoreAssignment(asg)
+		}
 		res, err := Apply(n, asg)
 		if err != nil {
-			return nil, nil, 0, err
+			return 0, err
 		}
-		score, err := opts.Eval(res)
+		return opts.Eval(res)
+	}
+
+	descend := func(sc AssignmentScorer, asg Assignment) (Assignment, float64, error) {
+		best, err := score(sc, asg)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, 0, err
 		}
 		improved := true
 		for improved {
 			improved = false
 			for i := 0; i < k; i++ {
 				asg[i] = !asg[i]
-				cand, err := Apply(n, asg)
+				cScore, err := score(sc, asg)
 				if err != nil {
-					return nil, nil, 0, err
+					return nil, 0, err
 				}
-				cScore, err := opts.Eval(cand)
-				if err != nil {
-					return nil, nil, 0, err
-				}
-				if cScore < score {
-					score, res = cScore, cand
+				if cScore < best {
+					best = cScore
 					improved = true
 				} else {
 					asg[i] = !asg[i] // revert
 				}
 			}
 		}
-		return asg, res, score, nil
+		return asg, best, nil
 	}
 
 	starts := make([]Assignment, 0, opts.Restarts+1)
@@ -221,13 +334,16 @@ func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, f
 
 	type outcome struct {
 		asg   Assignment
-		res   *Result
 		score float64
 	}
 	outcomes, err := par.Map(context.Background(), len(starts), opts.Workers,
 		func(_ context.Context, s int) (outcome, error) {
-			asg, res, score, err := descend(starts[s])
-			return outcome{asg, res, score}, err
+			var sc AssignmentScorer
+			if opts.Scorer != nil {
+				sc = opts.Scorer.Fork()
+			}
+			asg, best, err := descend(sc, starts[s])
+			return outcome{asg, best}, err
 		})
 	if err != nil {
 		return nil, nil, 0, err
@@ -238,5 +354,9 @@ func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, f
 			best = o
 		}
 	}
-	return best.asg, best.res, best.score, nil
+	res, err := Apply(n, best.asg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return best.asg, res, best.score, nil
 }

@@ -74,17 +74,23 @@ type Report struct {
 	ExactProbs bool
 }
 
-// Estimate computes the power report of a mapped block given the original
-// primary-input probabilities (indexed by original input position).
-func Estimate(b *domino.Block, inputProbs []float64, opts Options) (*Report, error) {
+// blockNodeProbs runs the configured probability engine over a mapped
+// block's network and reports whether the exact engine was used. It is
+// the cone-granular piece of Estimate: every value it returns is a pure
+// function of a node's fanin cone (BDDs are canonical per function,
+// Approximate and LimitedDepth propagate strictly fanin-local state), so
+// a node shared by several output cones carries the same probability in
+// any block that contains it — the invariant the cone table's
+// precompute-once/score-many decomposition rests on. mgr, when non-nil,
+// is reset and reused by the exact engine (see bdd.BuildNetworkLitsIn).
+func blockNodeProbs(mgr *bdd.Manager, b *domino.Block, inputProbs []float64, opts Options) ([]float64, bool, error) {
 	net := b.Net
 	blockProbs := b.Phase.BlockInputProbs(inputProbs)
 	if len(blockProbs) != net.NumInputs() {
-		return nil, fmt.Errorf("power: block input mismatch: %d probs, %d inputs", len(blockProbs), net.NumInputs())
+		return nil, false, fmt.Errorf("power: block input mismatch: %d probs, %d inputs", len(blockProbs), net.NumInputs())
 	}
 	numVars := len(inputProbs)
 	exact := opts.Method == Exact || (opts.Method == Auto && numVars <= AutoExactInputLimit)
-	var nodeProbs []float64
 	if exact {
 		// Build BDDs over the *original* primary inputs: block input
 		// rails carrying a complemented signal become complemented
@@ -98,19 +104,35 @@ func Estimate(b *domino.Block, inputProbs []float64, opts Options) (*Report, err
 		if ord == nil {
 			ord = mapOrderToVars(order.ReverseTopological(net), lits, numVars)
 		}
-		var err error
-		nodeProbs, err = prob.ExactLits(net, numVars, lits, inputProbs, ord)
+		nodeProbs, err := prob.ExactLitsIn(mgr, net, numVars, lits, inputProbs, ord)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-	} else if opts.Method == LimitedDepth {
+		return nodeProbs, true, nil
+	}
+	if opts.Method == LimitedDepth {
 		depth := opts.Depth
 		if depth <= 0 {
 			depth = 4
 		}
-		nodeProbs = prob.LimitedDepth(net, blockProbs, depth, opts.MaxFrontier)
-	} else {
-		nodeProbs = prob.Approximate(net, blockProbs)
+		return prob.LimitedDepth(net, blockProbs, depth, opts.MaxFrontier), false, nil
+	}
+	return prob.Approximate(net, blockProbs), false, nil
+}
+
+// Estimate computes the power report of a mapped block given the original
+// primary-input probabilities (indexed by original input position).
+func Estimate(b *domino.Block, inputProbs []float64, opts Options) (*Report, error) {
+	return estimateIn(nil, b, inputProbs, opts)
+}
+
+// estimateIn is Estimate with an optional reusable BDD manager for the
+// exact engine.
+func estimateIn(mgr *bdd.Manager, b *domino.Block, inputProbs []float64, opts Options) (*Report, error) {
+	net := b.Net
+	nodeProbs, exact, err := blockNodeProbs(mgr, b, inputProbs, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	rep := &Report{
@@ -190,6 +212,47 @@ func Evaluator(lib domino.Library, inputProbs []float64, opts Options) phase.Eva
 		}
 		return rep.Total, nil
 	}
+}
+
+// Estimator is Estimate with retained state: one BDD manager is created
+// lazily and recycled (bdd.Manager.Reset) across calls of the exact
+// engine, so sequential estimation loops — the MinPower trial loop, the
+// naive exhaustive baseline — stop allocating a fresh forest per
+// candidate. Unlike the Evaluator closure, an Estimator is NOT safe for
+// concurrent use; keep one per goroutine (they share nothing).
+type Estimator struct {
+	lib        domino.Library
+	inputProbs []float64
+	opts       Options
+	mgr        *bdd.Manager
+}
+
+// NewEstimator returns an estimator over a fixed library, input
+// probability vector, and engine options.
+func NewEstimator(lib domino.Library, inputProbs []float64, opts Options) *Estimator {
+	return &Estimator{lib: lib, inputProbs: inputProbs, opts: opts}
+}
+
+// Estimate is power.Estimate reusing the estimator's BDD manager.
+func (e *Estimator) Estimate(b *domino.Block) (*Report, error) {
+	if e.mgr == nil {
+		e.mgr = bdd.New(len(e.inputProbs))
+	}
+	return estimateIn(e.mgr, b, e.inputProbs, e.opts)
+}
+
+// Evaluate maps and scores one phase candidate; it is a phase.Evaluator
+// method value for sequential searches (MinPower, MinPowerGroups).
+func (e *Estimator) Evaluate(r *phase.Result) (float64, error) {
+	b, err := domino.Map(r, e.lib)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := e.Estimate(b)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total, nil
 }
 
 // SwitchingOnly computes the unweighted total switching of a block (all

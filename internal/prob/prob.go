@@ -52,10 +52,18 @@ func Exact(n *logic.Network, inputProbs []float64, ord []int) ([]float64, error)
 // complemented input rails are correlated literals of the same primary
 // input, not independent signals.
 func ExactLits(n *logic.Network, numVars int, lits []bdd.InputLit, varProbs []float64, ord []int) ([]float64, error) {
+	return ExactLitsIn(nil, n, numVars, lits, varProbs, ord)
+}
+
+// ExactLitsIn is ExactLits computing on an existing BDD manager (reset
+// and reused; see bdd.BuildNetworkLitsIn) so sequential callers — the
+// per-cone cone-table precompute, the reusable power estimator — avoid
+// allocating a fresh forest per network. A nil manager allocates one.
+func ExactLitsIn(m *bdd.Manager, n *logic.Network, numVars int, lits []bdd.InputLit, varProbs []float64, ord []int) ([]float64, error) {
 	if len(varProbs) != numVars {
 		return nil, fmt.Errorf("prob: %d var probs for %d vars", len(varProbs), numVars)
 	}
-	nb, err := bdd.BuildNetworkLits(n, numVars, lits, ord)
+	nb, err := bdd.BuildNetworkLitsIn(m, n, numVars, lits, ord)
 	if err != nil {
 		return nil, err
 	}
