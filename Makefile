@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench conebench lint fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench searchbench lint fmt benchsuite
 
 all: lint build test
 
@@ -31,6 +31,17 @@ kernelbench:
 # falls below 100x.
 conebench:
 	$(GO) run ./cmd/benchsuite -cone-bench-out BENCH_3.json
+
+# Search-strategy benchmark smoke: per-candidate full rescore vs
+# incremental gray-code Flip on the synth12 twin plus the
+# beyond-exhaustive strategies on the wide twins, persisted as
+# BENCH_4.json (uploaded as a CI artifact). Exits non-zero if the
+# gray-code or branch-and-bound winner disagrees with the reference
+# scan at any worker count, if the per-candidate flip speedup falls
+# below 10x, if a heuristic beats the exact branch-and-bound at k=24,
+# or if annealing fails to strictly beat the MinPower heuristic at k=32.
+searchbench:
+	$(GO) run ./cmd/benchsuite -search-bench-out BENCH_4.json
 
 lint:
 	$(GO) vet ./...

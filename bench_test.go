@@ -526,6 +526,41 @@ func BenchmarkConeTableExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchStrategies runs the pluggable strategies (ISSUE 4)
+// over the cone table's incremental score state on the same 10-output
+// circuit: gray-code exhaustive (one O(Δ) Flip per candidate — compare
+// against BenchmarkConeTableExhaustive's full-rescore scan), exact
+// branch-and-bound (bit-identical winner, prunes the 2^k space), and
+// the seeded heuristics. best_power must agree across the exact rows.
+func BenchmarkSearchStrategies(b *testing.B) {
+	net := parallelBenchNet()
+	probs := prob.Uniform(net, 0.5)
+	table, err := power.NewConeTable(net, domino.DefaultLibrary(), probs, power.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []phase.SearchStrategy{
+		phase.StrategyExhaustive, phase.StrategyBranchBound,
+		phase.StrategyAnneal, phase.StrategyGreedy,
+	} {
+		strat := strat
+		b.Run(strat.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var score float64
+			for i := 0; i < b.N; i++ {
+				_, _, s, err := phase.Search(net, phase.SearchOptions{
+					Strategy: strat, Scorer: table, Workers: 1, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				score = s
+			}
+			b.ReportMetric(score, "best_power")
+		})
+	}
+}
+
 // BenchmarkShardedSim compares the single-stream simulator against the
 // sharded engine at a fixed shard count and growing worker pools.
 func BenchmarkShardedSim(b *testing.B) {

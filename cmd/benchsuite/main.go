@@ -19,6 +19,15 @@
 // twin, verifies the two scorers agree and the winner is invariant
 // across worker counts, and writes the record to PATH (BENCH_3.json in
 // CI), failing below a 100x speedup.
+//
+// With -search-bench-out PATH it measures the ISSUE 4 search-strategy
+// stack: per-candidate full rescore vs incremental gray-code Flip on
+// synth12 (gated at 10x), gray/branch-and-bound winner agreement with
+// the ascending-mask reference at workers 1/2/8, and the
+// beyond-exhaustive strategies on the wide 24/32-output twins (gated on
+// annealing strictly beating the MinPower heuristic at k = 32 and on
+// branch-and-bound's k = 24 exactness). Writes PATH (BENCH_4.json in
+// CI).
 package main
 
 import (
@@ -89,10 +98,14 @@ func synth12Circuit() gen.NamedCircuit {
 		Net: gen.Generate(gen.Params{Name: "synth12", Inputs: 18, Outputs: 12, Gates: 130, Seed: 0x512, OrProb: 0.6})}
 }
 
-// suiteCircuits returns the Table 1 twins plus the two exhaustive-
-// feasible synthetic circuits.
+// suiteCircuits returns the Table 1 twins, the two exhaustive-feasible
+// synthetic circuits, and the beyond-exhaustive wide twins (whose
+// Exhaustive rows are skipped past -exhaustive-limit; the MA/MP rows
+// exercise the greedy fallback and the pairwise heuristic at widths the
+// strategy benchmark covers with annealing and branch-and-bound).
 func suiteCircuits() []gen.NamedCircuit {
-	return append(gen.Table1Circuits(), synth10Circuit(), synth12Circuit())
+	cs := append(gen.Table1Circuits(), synth10Circuit(), synth12Circuit())
+	return append(cs, gen.WideCircuits()...)
 }
 
 func main() {
@@ -106,6 +119,7 @@ func main() {
 	exLimit := flag.Int("exhaustive-limit", 14, "skip the Exhaustive objective beyond this many outputs")
 	benchOut := flag.String("bench-out", "", "kernel-benchmark mode: measure the scalar vs bit-parallel sim kernels and the BDD engine, write the JSON record to this path (e.g. BENCH_2.json), and exit without sweeping")
 	coneBenchOut := flag.String("cone-bench-out", "", "cone-table benchmark mode: measure the cached-cone exhaustive phase search against the naive per-mask Apply+Estimate path on the synth12 twin, verify both agree and that the winner is worker-invariant, write the JSON record to this path (e.g. BENCH_3.json), and exit without sweeping")
+	searchBenchOut := flag.String("search-bench-out", "", "search-strategy benchmark mode: measure per-candidate full rescore vs incremental gray-code Flip on the synth12 twin (>=10x gate), verify gray/branch-and-bound winner agreement with the reference scan across worker counts, run the beyond-exhaustive strategies on the wide twins (annealing must strictly beat the MinPower heuristic at k=32), write the JSON record to this path (e.g. BENCH_4.json), and exit without sweeping")
 	flag.Parse()
 
 	if *benchOut != "" {
@@ -116,6 +130,12 @@ func main() {
 	}
 	if *coneBenchOut != "" {
 		if err := runConeBench(*coneBenchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *searchBenchOut != "" {
+		if err := runSearchBench(*searchBenchOut); err != nil {
 			log.Fatal(err)
 		}
 		return

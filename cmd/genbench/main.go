@@ -24,7 +24,7 @@ func main() {
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	for _, c := range gen.Table1Circuits() {
+	for _, c := range append(gen.Table1Circuits(), gen.WideCircuits()...) {
 		name := strings.ReplaceAll(strings.ToLower(c.Name), " ", "")
 		path := filepath.Join(*dir, name+".blif")
 		f, err := os.Create(path)

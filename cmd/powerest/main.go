@@ -1,16 +1,21 @@
 // Command powerest estimates and measures the power of a circuit under a
-// phase assignment, or prints the Figure 2 switching curves.
+// phase assignment, searches for a low-power assignment, or prints the
+// Figure 2 switching curves.
 //
 // Usage:
 //
 //	powerest -blif circuit.blif [-phases +-+...] [-p 0.5] [-vectors 4096]
+//	powerest -blif circuit.blif -search STRATEGY [-workers N] [-seed S]
 //	powerest -curve [-steps 20]
 //
 // With -blif it reads a combinational BLIF model, applies the given
 // phases (all-positive when omitted), maps it to domino cells and prints
-// the model estimate next to the Monte-Carlo measurement. With -curve it
-// prints the domino (S=p) and static (S=2p(1−p)) switching curves of the
-// paper's Figure 2.
+// the model estimate next to the Monte-Carlo measurement. With -search
+// it instead picks the phases by searching with the given strategy
+// (exhaustive, bb, anneal, greedy, or auto) over the cone-table scorer —
+// bb stays exact past the 2^20 enumeration ceiling, anneal and greedy
+// handle any output count. With -curve it prints the domino (S=p) and
+// static (S=2p(1−p)) switching curves of the paper's Figure 2.
 package main
 
 import (
@@ -38,6 +43,9 @@ func main() {
 	vectors := flag.Int("vectors", 4096, "Monte-Carlo vectors")
 	curve := flag.Bool("curve", false, "print the Figure 2 switching curves and exit")
 	steps := flag.Int("steps", 20, "curve sample count")
+	search := flag.String("search", "", "search for a minimum-power assignment with this strategy (auto, exhaustive, bb, anneal, greedy) instead of applying -phases")
+	workers := flag.Int("workers", 0, "search worker pool (0 = GOMAXPROCS); never changes the result")
+	seed := flag.Int64("seed", 1, "seed for the anneal/greedy search strategies")
 	flag.Parse()
 
 	if *curve {
@@ -73,6 +81,33 @@ func main() {
 	net := flow.Prepare(m.Network)
 
 	asg := phase.AllPositive(net.NumOutputs())
+	if *search != "" {
+		if *phases != "" {
+			log.Fatal("-search and -phases are mutually exclusive")
+		}
+		strat, err := phase.ParseStrategy(*search)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probs := prob.Uniform(net, *p)
+		table, err := power.NewConeTable(net, domino.DefaultLibrary(), probs, power.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		found, _, score, err := phase.Search(net, phase.SearchOptions{
+			Strategy: strat,
+			Scorer:   table,
+			Workers:  *workers,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search       %s strategy over %d outputs (%d signature groups)\n",
+			strat, net.NumOutputs(), table.Groups())
+		fmt.Printf("found        %s  (cone-table score %.6f)\n", found, score)
+		asg = found
+	}
 	if *phases != "" {
 		if len(*phases) != net.NumOutputs() {
 			log.Fatalf("phase string has %d entries, circuit has %d outputs", len(*phases), net.NumOutputs())

@@ -83,6 +83,20 @@ type Options struct {
 	// precomputes the cone table and scores assignments from cached
 	// per-cone terms, synthesizing only kept candidates).
 	PhaseScoring flow.PhaseScoring
+	// SearchStrategy selects the search strategy of the power-driven
+	// objectives (see phase.SearchStrategy). Under MinPower the zero
+	// value keeps the paper's pairwise heuristic; under ExhaustivePower
+	// it keeps the sharded exhaustive scan. StrategyBranchBound stays
+	// exact past the 2^k enumeration limit; StrategyAnneal and
+	// StrategyGreedy trade exactness for arbitrary output counts.
+	SearchStrategy phase.SearchStrategy
+	// SearchSeed drives the random restarts/chains of the greedy and
+	// annealing strategies; SearchRestarts sets how many beyond the
+	// first (0 = default 3); AnnealSteps overrides the per-chain
+	// proposal count (0 = 400·outputs).
+	SearchSeed     int64
+	SearchRestarts int
+	AnnealSteps    int
 }
 
 // Result bundles the synthesized implementation and its measurements.
@@ -150,9 +164,14 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 	switch opts.Objective {
 	case MinPower:
 		popts := phase.PowerOptions{
-			InputProbs: probs,
-			Scorer:     scorer,
-			MaxPairs:   opts.MaxPairs,
+			InputProbs:     probs,
+			Scorer:         scorer,
+			MaxPairs:       opts.MaxPairs,
+			Strategy:       opts.SearchStrategy,
+			SearchWorkers:  opts.Workers,
+			SearchSeed:     opts.SearchSeed,
+			SearchRestarts: opts.SearchRestarts,
+			AnnealSteps:    opts.AnnealSteps,
 		}
 		if scorer == nil {
 			popts.Evaluate = power.NewEstimator(lib, probs, power.Options{}).Evaluate
@@ -170,9 +189,20 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 			},
 		})
 	case ExhaustivePower:
-		if scorer != nil {
+		switch {
+		case opts.SearchStrategy != phase.StrategyAuto:
+			asg, res, _, err = phase.Search(prepared, phase.SearchOptions{
+				Strategy:    opts.SearchStrategy,
+				Scorer:      scorer,
+				Eval:        power.Evaluator(lib, probs, power.Options{}),
+				Workers:     opts.Workers,
+				Seed:        opts.SearchSeed,
+				Restarts:    opts.SearchRestarts,
+				AnnealSteps: opts.AnnealSteps,
+			})
+		case scorer != nil:
 			asg, res, _, err = phase.ExhaustiveScored(prepared, scorer, opts.Workers)
-		} else {
+		default:
 			asg, res, _, err = phase.ExhaustiveParallel(prepared, power.Evaluator(lib, probs, power.Options{}), opts.Workers)
 		}
 	default:

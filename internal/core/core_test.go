@@ -126,3 +126,32 @@ func TestSynthesizeLibraryOverride(t *testing.T) {
 		}
 	}
 }
+
+func TestSynthesizeSearchStrategies(t *testing.T) {
+	net := testNet()
+	// Branch-and-bound under ExhaustivePower must reproduce the default
+	// exhaustive scan's estimate; annealing under MinPower must run and
+	// be no worse than the all-positive baseline implied by MA's space.
+	ref, err := Synthesize(net, Options{Objective: ExhaustivePower, Vectors: 1024})
+	if err != nil {
+		t.Fatalf("reference exhaustive: %v", err)
+	}
+	bb, err := Synthesize(net, Options{
+		Objective: ExhaustivePower, SearchStrategy: phase.StrategyBranchBound, Vectors: 1024,
+	})
+	if err != nil {
+		t.Fatalf("branch-and-bound: %v", err)
+	}
+	if bb.EstimatedPower != ref.EstimatedPower {
+		t.Errorf("branch-and-bound estimate %v != exhaustive %v", bb.EstimatedPower, ref.EstimatedPower)
+	}
+	an, err := Synthesize(net, Options{
+		Objective: MinPower, SearchStrategy: phase.StrategyAnneal, SearchSeed: 5, AnnealSteps: 400, Vectors: 1024,
+	})
+	if err != nil {
+		t.Fatalf("anneal MinPower: %v", err)
+	}
+	if an.EstimatedPower < ref.EstimatedPower-1e-9 {
+		t.Errorf("anneal estimate %v beat the exhaustive optimum %v", an.EstimatedPower, ref.EstimatedPower)
+	}
+}

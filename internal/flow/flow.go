@@ -90,6 +90,18 @@ type Config struct {
 	// PhaseScoring selects the candidate-scoring engine of the
 	// power-driven phase searches (zero value: the cone table).
 	PhaseScoring PhaseScoring
+	// SearchStrategy, when not StrategyAuto, replaces the paper's
+	// pairwise MinPower heuristic with the selected phase-search
+	// strategy (gray-code exhaustive, exact branch-and-bound, annealing,
+	// or multi-restart greedy) over the configured scorer. It applies to
+	// the power-driven search of SynthesizeMP and the sequential flow;
+	// the MA baseline keeps its own dispatch.
+	SearchStrategy phase.SearchStrategy
+	// SearchRestarts, SearchSeed, and AnnealSteps parameterize the
+	// strategy path (see phase.SearchOptions).
+	SearchRestarts int
+	SearchSeed     int64
+	AnnealSteps    int
 }
 
 func (c *Config) defaults() {
@@ -200,16 +212,27 @@ func mapCellCountEvaluator(lib domino.Library) phase.Evaluator {
 	}
 }
 
-// SynthesizeMA runs the minimum-area baseline on a prepared network.
-func SynthesizeMA(net *logic.Network, cfg Config) (*Synthesis, error) {
-	cfg.defaults()
+// synthesizeMAAssignment runs the MA phase search on a prepared network
+// — the single assignment-selection path shared by the combinational and
+// sequential flows.
+func synthesizeMAAssignment(net *logic.Network, cfg Config) (phase.Assignment, *phase.Result, error) {
 	asg, res, _, err := phase.MinArea(net, phase.SearchOptions{
 		ExhaustiveLimit: cfg.ExhaustiveLimit,
 		Eval:            mapCellCountEvaluator(*cfg.Lib),
 		Workers:         cfg.Workers,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("flow: MinArea: %w", err)
+		return nil, nil, fmt.Errorf("flow: MinArea: %w", err)
+	}
+	return asg, res, nil
+}
+
+// SynthesizeMA runs the minimum-area baseline on a prepared network.
+func SynthesizeMA(net *logic.Network, cfg Config) (*Synthesis, error) {
+	cfg.defaults()
+	asg, res, err := synthesizeMAAssignment(net, cfg)
+	if err != nil {
+		return nil, err
 	}
 	return finishSynthesis(asg, res, net, cfg)
 }
@@ -228,18 +251,25 @@ func phaseScorer(net *logic.Network, probs []float64, cfg Config) (phase.Assignm
 	return table, nil
 }
 
-// SynthesizeMP runs the paper's minimum-power heuristic on a prepared
-// network.
-func SynthesizeMP(net *logic.Network, cfg Config) (*Synthesis, error) {
-	cfg.defaults()
-	probs := uniformProbs(net, cfg.InputProb)
+// synthesizeMPAssignment runs the configured power-driven phase search
+// on a prepared network with explicit per-input probabilities — the
+// single scorer/strategy wiring shared by the combinational and
+// sequential flows: cone-table scoring by default (naive estimator
+// under ScoreNaive), the pairwise heuristic by default, or the
+// cfg.SearchStrategy strategy.
+func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config) (phase.Assignment, *phase.Result, float64, error) {
 	popts := phase.PowerOptions{
-		InputProbs: probs,
-		MaxPairs:   cfg.MaxPairs,
+		InputProbs:     probs,
+		MaxPairs:       cfg.MaxPairs,
+		Strategy:       cfg.SearchStrategy,
+		SearchWorkers:  cfg.Workers,
+		SearchSeed:     cfg.SearchSeed,
+		SearchRestarts: cfg.SearchRestarts,
+		AnnealSteps:    cfg.AnnealSteps,
 	}
 	scorer, err := phaseScorer(net, probs, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
 	if scorer != nil {
 		popts.Scorer = scorer
@@ -250,7 +280,19 @@ func SynthesizeMP(net *logic.Network, cfg Config) (*Synthesis, error) {
 	}
 	asg, res, est, _, err := phase.MinPower(net, popts)
 	if err != nil {
-		return nil, fmt.Errorf("flow: MinPower: %w", err)
+		return nil, nil, 0, fmt.Errorf("flow: MinPower: %w", err)
+	}
+	return asg, res, est, nil
+}
+
+// SynthesizeMP runs the paper's minimum-power heuristic (or the
+// configured search strategy) on a prepared network.
+func SynthesizeMP(net *logic.Network, cfg Config) (*Synthesis, error) {
+	cfg.defaults()
+	probs := uniformProbs(net, cfg.InputProb)
+	asg, res, est, err := synthesizeMPAssignment(net, probs, cfg)
+	if err != nil {
+		return nil, err
 	}
 	s, err := finishSynthesis(asg, res, net, cfg)
 	if err != nil {

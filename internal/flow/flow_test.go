@@ -154,3 +154,39 @@ func TestResynthesizeFlow(t *testing.T) {
 		t.Error("missing measurements")
 	}
 }
+
+func TestSynthesizeMPWithStrategy(t *testing.T) {
+	c := gen.Frg1()
+	net := Prepare(c.Net)
+	// frg1 has 3 outputs: the default MP heuristic and the exact
+	// branch-and-bound strategy both search a space the exhaustive scan
+	// covers, so the strategy's estimate can never be worse.
+	def, err := SynthesizeMP(net, Config{SimVectors: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{SimVectors: 512, SearchStrategy: phase.StrategyBranchBound}
+	bb, err := SynthesizeMP(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bb.EstPower > def.EstPower+1e-9 {
+		t.Errorf("branch-and-bound MP estimate %v worse than heuristic %v", bb.EstPower, def.EstPower)
+	}
+}
+
+func TestRunSequentialWithStrategy(t *testing.T) {
+	c, err := gen.Sequential(gen.SeqParams{
+		Name: "seqstrat", Inputs: 6, FFs: 8, Gates: 40, Seed: 29, TwinProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunSequential(c, Config{SimVectors: 1024, SearchStrategy: phase.StrategyGreedy})
+	if err != nil {
+		t.Fatalf("RunSequential with greedy strategy: %v", err)
+	}
+	if row.MA.Size <= 0 || row.MP.Size <= 0 || row.MP.SimPower <= 0 {
+		t.Errorf("malformed row: %+v", row)
+	}
+}

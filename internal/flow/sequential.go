@@ -72,43 +72,23 @@ func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
 		PseudoInputs: part.PseudoInputCount(),
 	}
 
-	synth := func(objective string) (*Synthesis, error) {
-		var asg phase.Assignment
-		var res *phase.Result
-		var err error
-		switch objective {
-		case "area":
-			asg, res, _, err = phase.MinArea(net, phase.SearchOptions{
-				ExhaustiveLimit: cfg.ExhaustiveLimit,
-				Eval:            mapCellCountEvaluator(*cfg.Lib),
-				Workers:         cfg.Workers,
-			})
-		case "power":
-			popts := phase.PowerOptions{
-				InputProbs: blockProbs,
-				MaxPairs:   cfg.MaxPairs,
-			}
-			var scorer phase.AssignmentScorer
-			if scorer, err = phaseScorer(net, blockProbs, cfg); err != nil {
-				return nil, err
-			}
-			if scorer != nil {
-				popts.Scorer = scorer
-			} else {
-				popts.Evaluate = power.NewEstimator(*cfg.Lib, blockProbs, cfg.EstOpts).Evaluate
-			}
-			asg, res, _, _, err = phase.MinPower(net, popts)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return finishSynthesisProbs(asg, res, blockProbs, cfg)
-	}
-	ma, err := synth("area")
+	// Both phase searches route through the same scorer/strategy wiring
+	// as the combinational flow (synthesizeMAAssignment /
+	// synthesizeMPAssignment), so sequential rows pick up cone-table
+	// scoring and the pluggable strategies with no duplicated logic.
+	maAsg, maRes, err := synthesizeMAAssignment(net, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("flow: sequential MA: %w", err)
 	}
-	mp, err := synth("power")
+	ma, err := finishSynthesisProbs(maAsg, maRes, blockProbs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flow: sequential MA: %w", err)
+	}
+	mpAsg, mpRes, _, err := synthesizeMPAssignment(net, blockProbs, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flow: sequential MP: %w", err)
+	}
+	mp, err := finishSynthesisProbs(mpAsg, mpRes, blockProbs, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("flow: sequential MP: %w", err)
 	}

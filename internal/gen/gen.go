@@ -248,6 +248,45 @@ func X3() NamedCircuit {
 	}
 }
 
+// The wide twins exercise the beyond-exhaustive regime: 24, 32, and 48
+// outputs put 2^k enumeration out of reach (or at its edge), which is
+// the workload class the branch-and-bound and annealing search
+// strategies open up. Interfaces and gate budgets follow the same
+// control-logic shape as the Table 1 twins.
+
+// Wide24 is a 24-output twin — just beyond the paper's 2^20 exhaustive
+// ceiling, still reachable by exact branch-and-bound.
+func Wide24() NamedCircuit {
+	return NamedCircuit{
+		Name: "wide24", Desc: "Synthetic (beyond-exhaustive)",
+		Net: Generate(Params{Name: "wide24", Inputs: 36, Outputs: 24, Gates: 260, Seed: 0x824, OrProb: 0.66}),
+	}
+}
+
+// Wide32 is the 32-output twin the annealing acceptance gate runs on:
+// 2^32 assignments are infeasible to enumerate, so only the heuristic
+// strategies (and the pairwise MinPower baseline) apply.
+func Wide32() NamedCircuit {
+	return NamedCircuit{
+		Name: "wide32", Desc: "Synthetic (beyond-exhaustive)",
+		Net: Generate(Params{Name: "wide32", Inputs: 48, Outputs: 32, Gates: 360, Seed: 0x832, OrProb: 0.68}),
+	}
+}
+
+// Wide48 is the widest twin — 48 outputs, the stress case for the
+// incremental score state's per-bit group index.
+func Wide48() NamedCircuit {
+	return NamedCircuit{
+		Name: "wide48", Desc: "Synthetic (beyond-exhaustive)",
+		Net: Generate(Params{Name: "wide48", Inputs: 64, Outputs: 48, Gates: 520, Seed: 0x848, OrProb: 0.64}),
+	}
+}
+
+// WideCircuits returns the beyond-exhaustive twins in width order.
+func WideCircuits() []NamedCircuit {
+	return []NamedCircuit{Wide24(), Wide32(), Wide48()}
+}
+
 // Table1Circuits returns the seven benchmarks of Table 1 in the paper's
 // row order.
 func Table1Circuits() []NamedCircuit {

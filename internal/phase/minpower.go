@@ -75,6 +75,21 @@ type PowerOptions struct {
 	// means all pairs. When bounded, pairs with the largest cone overlap
 	// are kept, since those are the ones whose phase interaction matters.
 	MaxPairs int
+	// Strategy, when not StrategyAuto, replaces the pairwise heuristic
+	// with the selected search strategy (gray-code exhaustive, exact
+	// branch-and-bound, annealing, or multi-restart greedy) run over
+	// Scorer — or over Evaluate through a synthesize-and-score adapter
+	// when no Scorer is set. The step trace is then empty. Initial seeds
+	// the heuristic strategies' first start; the exact strategies ignore
+	// it (their result does not depend on a starting point).
+	Strategy SearchStrategy
+	// SearchWorkers, SearchSeed, SearchRestarts, and AnnealSteps
+	// parameterize the strategy path (see the SearchOptions fields of the
+	// same names); all are ignored under StrategyAuto.
+	SearchWorkers  int
+	SearchSeed     int64
+	SearchRestarts int
+	AnnealSteps    int
 }
 
 // scoreResult scores an already synthesized assignment under the
@@ -120,6 +135,19 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 	}
 	if opts.Evaluate == nil && opts.Scorer == nil {
 		return nil, nil, 0, nil, fmt.Errorf("phase: PowerOptions.Evaluate or Scorer is required")
+	}
+	if opts.Strategy != StrategyAuto {
+		asg, res, score, err := Search(n, SearchOptions{
+			Strategy:    opts.Strategy,
+			Scorer:      opts.Scorer,
+			Eval:        opts.Evaluate,
+			Initial:     opts.Initial,
+			Workers:     opts.SearchWorkers,
+			Seed:        opts.SearchSeed,
+			Restarts:    opts.SearchRestarts,
+			AnnealSteps: opts.AnnealSteps,
+		})
+		return asg, res, score, nil, err
 	}
 	probFn := opts.Probs
 	if probFn == nil {

@@ -3,7 +3,6 @@ package phase
 import (
 	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/logic"
 	"repro/internal/par"
@@ -37,10 +36,11 @@ func AreaEvaluator(r *Result) (float64, error) {
 	return float64(r.Block.GateCount() + r.InputInverterCount() + r.OutputInverterCount()), nil
 }
 
-// setMask expands mask bit i into the phase of output i, reusing the
+// SetMask expands mask bit i into the phase of output i, reusing the
 // receiver — the per-mask Assignment allocation this avoids used to
-// dominate scored-search shard time.
-func (a Assignment) setMask(mask int) {
+// dominate scored-search shard time. Masks hold at most 62 phase bits
+// (see the enumeration guard in the exhaustive searches).
+func (a Assignment) SetMask(mask int) {
 	for i := range a {
 		a[i] = mask&(1<<uint(i)) != 0
 	}
@@ -49,7 +49,7 @@ func (a Assignment) setMask(mask int) {
 // maskAssignment expands mask bit i into the phase of output i.
 func maskAssignment(mask, k int) Assignment {
 	asg := make(Assignment, k)
-	asg.setMask(mask)
+	asg.SetMask(mask)
 	return asg
 }
 
@@ -86,7 +86,7 @@ func scanMasks(ctx context.Context, n *logic.Network, eval Evaluator, k, lo, hi 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		buf.setMask(mask)
+		buf.SetMask(mask)
 		res, err := Apply(n, buf)
 		if err != nil {
 			return nil, err
@@ -123,6 +123,9 @@ func Exhaustive(n *logic.Network, eval Evaluator) (Assignment, *Result, float64,
 // equal score" rule, so scheduling can never change the outcome.
 func ExhaustiveParallel(n *logic.Network, eval Evaluator, workers int) (Assignment, *Result, float64, error) {
 	k := n.NumOutputs()
+	if err := checkMaskWidth(k); err != nil {
+		return nil, nil, 0, err
+	}
 	if k > 20 {
 		return nil, nil, 0, fmt.Errorf("phase: exhaustive search over %d outputs is infeasible", k)
 	}
@@ -172,6 +175,9 @@ func ExhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int) (A
 		return nil, nil, 0, fmt.Errorf("phase: ExhaustiveScored requires a scorer")
 	}
 	k := n.NumOutputs()
+	if err := checkMaskWidth(k); err != nil {
+		return nil, nil, 0, err
+	}
 	if k > 20 {
 		return nil, nil, 0, fmt.Errorf("phase: exhaustive search over %d outputs is infeasible", k)
 	}
@@ -187,7 +193,7 @@ func ExhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int) (A
 				if err := ctx.Err(); err != nil {
 					return scoredBest{}, err
 				}
-				buf.setMask(mask)
+				buf.SetMask(mask)
 				score, err := sc.ScoreAssignment(buf)
 				if err != nil {
 					return scoredBest{}, err
@@ -219,23 +225,36 @@ func ExhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int) (A
 	return asg, res, best.score, nil
 }
 
-// SearchOptions configures MinArea's search.
+// SearchOptions configures Search (and its MinArea alias).
 type SearchOptions struct {
-	// ExhaustiveLimit: exhaustive search is used when the output count is
-	// at most this (default 12).
+	// Strategy selects the search implementation (see SearchStrategy).
+	// The zero value, StrategyAuto, keeps the historical dispatch:
+	// exhaustive up to ExhaustiveLimit outputs, greedy descent beyond.
+	Strategy SearchStrategy
+	// ExhaustiveLimit: under StrategyAuto, exhaustive search is used when
+	// the output count is at most this (default 12).
 	ExhaustiveLimit int
 	// Restarts is the number of random restarts for the greedy descent
-	// used beyond the exhaustive limit (default 3, plus the all-positive
-	// start).
+	// (default 3, plus the all-positive start) and, for StrategyAnneal,
+	// the number of extra annealing chains.
 	Restarts int
-	// Seed drives the random restarts.
+	// Initial, when non-nil, replaces the all-positive assignment as the
+	// first greedy start / annealing chain's start. The exact strategies
+	// (exhaustive, branch-and-bound) ignore it — their result does not
+	// depend on a starting point.
+	Initial Assignment
+	// Seed drives the random restarts and annealing chains.
 	Seed int64
+	// AnnealSteps is the proposal count per annealing chain (default
+	// 400·k).
+	AnnealSteps int
 	// Eval overrides the objective (default AreaEvaluator).
 	Eval Evaluator
 	// Scorer, when set, overrides Eval: candidate assignments are scored
 	// directly (no per-candidate Apply) and only kept assignments are
-	// synthesized. Exhaustive search then runs through ExhaustiveScored
-	// and the greedy fallback descends on scores alone.
+	// synthesized. Scorers implementing StateScorer additionally give
+	// every strategy O(Δ)-per-flip incremental scoring, and BoundScorers
+	// unlock StrategyBranchBound.
 	Scorer AssignmentScorer
 	// Workers bounds the search's worker pool (0 = GOMAXPROCS, 1 =
 	// sequential). The result is identical for every worker count; Eval
@@ -259,104 +278,9 @@ func (o *SearchOptions) defaults() {
 // "MA" flow of the paper (Puri et al. [15] report an exact algorithm; we
 // use exhaustive search where feasible — it is exact — and greedy descent
 // with restarts beyond that). Despite the name it is a generic search
-// driver: SearchOptions.Eval or .Scorer swaps in any objective.
+// driver: SearchOptions.Eval or .Scorer swaps in any objective and
+// SearchOptions.Strategy any of the pluggable searches — MinArea is
+// Search under its historical name.
 func MinArea(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
-	opts.defaults()
-	if n.NumOutputs() <= opts.ExhaustiveLimit {
-		if opts.Scorer != nil {
-			return ExhaustiveScored(n, opts.Scorer, opts.Workers)
-		}
-		return ExhaustiveParallel(n, opts.Eval, opts.Workers)
-	}
-	return greedyDescent(n, opts)
-}
-
-// greedyDescent performs first-improvement hill climbing over single
-// output flips, restarted from random assignments. The starts (the
-// all-positive assignment plus opts.Restarts random draws from the seeded
-// rng) are generated up front in a fixed order and descended concurrently
-// on the option's worker pool; the winner is reduced in start order with
-// earlier starts winning ties, so the outcome matches a sequential run of
-// the same starts exactly. Only the winning assignment is synthesized
-// into the returned Result (Apply is deterministic, so re-applying the
-// winner reproduces the block any descent step saw).
-func greedyDescent(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64, error) {
-	rng := rand.New(rand.NewSource(opts.Seed))
-	k := n.NumOutputs()
-
-	// score evaluates one assignment under the configured objective; the
-	// scored path skips the per-candidate Apply entirely.
-	score := func(sc AssignmentScorer, asg Assignment) (float64, error) {
-		if sc != nil {
-			return sc.ScoreAssignment(asg)
-		}
-		res, err := Apply(n, asg)
-		if err != nil {
-			return 0, err
-		}
-		return opts.Eval(res)
-	}
-
-	descend := func(sc AssignmentScorer, asg Assignment) (Assignment, float64, error) {
-		best, err := score(sc, asg)
-		if err != nil {
-			return nil, 0, err
-		}
-		improved := true
-		for improved {
-			improved = false
-			for i := 0; i < k; i++ {
-				asg[i] = !asg[i]
-				cScore, err := score(sc, asg)
-				if err != nil {
-					return nil, 0, err
-				}
-				if cScore < best {
-					best = cScore
-					improved = true
-				} else {
-					asg[i] = !asg[i] // revert
-				}
-			}
-		}
-		return asg, best, nil
-	}
-
-	starts := make([]Assignment, 0, opts.Restarts+1)
-	starts = append(starts, AllPositive(k))
-	for restart := 0; restart < opts.Restarts; restart++ {
-		asg := make(Assignment, k)
-		for i := range asg {
-			asg[i] = rng.Intn(2) == 1
-		}
-		starts = append(starts, asg)
-	}
-
-	type outcome struct {
-		asg   Assignment
-		score float64
-	}
-	outcomes, err := par.Map(context.Background(), len(starts), opts.Workers,
-		func(_ context.Context, s int) (outcome, error) {
-			var sc AssignmentScorer
-			if opts.Scorer != nil {
-				sc = opts.Scorer.Fork()
-			}
-			asg, best, err := descend(sc, starts[s])
-			return outcome{asg, best}, err
-		})
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	best := outcomes[0]
-	for _, o := range outcomes[1:] {
-		if o.score < best.score {
-			best = o
-		}
-	}
-	res, err := Apply(n, best.asg)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	return best.asg, res, best.score, nil
+	return Search(n, opts)
 }

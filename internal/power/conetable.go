@@ -41,13 +41,17 @@
 // cost-function decomposition — while shared logic just contributes
 // signatures with more than one demanding cone. The score equals
 // Estimate's Report.Total on the Apply'd block up to float summation
-// order, and the canonical group order makes it a bit-identical pure
-// function of the assignment for any worker count.
+// order, and because the active constants are folded through an exact
+// accumulator (see exactsum.go) the rounded score is an
+// order-independent, bit-identical pure function of the assignment for
+// any worker count — and equal, bit-for-bit, to what the incremental
+// ScoreState reaches by any flip path (see scorestate.go).
 package power
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/domino"
 	"repro/internal/logic"
@@ -59,6 +63,9 @@ import (
 // phase assignments without synthesis. Build it once per (network,
 // library, input probabilities, engine options) and hand it to
 // phase.ExhaustiveScored / SearchOptions.Scorer / PowerOptions.Scorer.
+// It implements phase.StateScorer and phase.BoundScorer: NewState mints
+// the O(Δ)-per-flip incremental scorer behind the search strategies,
+// NewBound the admissible prefix bound behind exact branch-and-bound.
 //
 // The table is immutable after construction; ScoreAssignment on the
 // table itself uses one embedded scratch buffer and is for sequential
@@ -73,10 +80,20 @@ type ConeTable struct {
 	pos []uint64
 	neg []uint64
 	gk  []float64
+	// gl/gp are each constant's precomposed exact-accumulator pieces
+	// (decomposePieces of gk[g], 3 per group), so neither full rescores
+	// nor incremental flips decompose floats on the scoring hot path.
+	gl []int32
+	gp []int64
 
 	exact    bool
 	numCells int
 	self     *coneScorer
+
+	// idx is the per-bit group index behind NewState/NewBound, built
+	// lazily once and shared immutably by every state.
+	idxOnce sync.Once
+	idx     *flipIndex
 }
 
 // NewConeTable precomputes the cone table for a phase-ready network (no
@@ -249,8 +266,31 @@ func NewConeTable(n *logic.Network, lib domino.Library, inputProbs []float64, op
 		}
 	}
 
+	t.gl = make([]int32, len(t.gk))
+	t.gp = make([]int64, 3*len(t.gk))
+	for g, v := range t.gk {
+		if v == 0 {
+			continue // interning never stores zero constants
+		}
+		l, p0, p1, p2 := decomposePieces(v)
+		t.gl[g] = int32(l)
+		t.gp[3*g], t.gp[3*g+1], t.gp[3*g+2] = p0, p1, p2
+	}
+
 	t.self = newConeScorer(t)
 	return t, nil
+}
+
+// addGroup folds +K_g into the accumulator from the precomposed pieces.
+func (t *ConeTable) addGroup(acc *exactAcc, g int32) {
+	p := t.gp[3*g:]
+	acc.addPieces(int(t.gl[g]), p[0], p[1], p[2])
+}
+
+// subGroup folds −K_g into the accumulator.
+func (t *ConeTable) subGroup(acc *exactAcc, g int32) {
+	p := t.gp[3*g:]
+	acc.addPieces(int(t.gl[g]), -p[0], -p[1], -p[2])
 }
 
 // Exact reports whether the cached probabilities came from the exact
@@ -281,25 +321,36 @@ func (t *ConeTable) ScoreAssignment(asg phase.Assignment) (float64, error) {
 // Fork is safe to call concurrently (phase.AssignmentScorer contract).
 func (t *ConeTable) Fork() phase.AssignmentScorer { return newConeScorer(t) }
 
-// coneScorer carries one scoring stream's mask buffer. ScoreAssignment
-// never allocates.
+// coneScorer carries one scoring stream's mask buffer and exact
+// accumulator. ScoreAssignment never allocates.
 type coneScorer struct {
 	t       *ConeTable
 	maskBuf []uint64
+	acc     *exactAcc
 }
 
 func newConeScorer(t *ConeTable) *coneScorer {
-	return &coneScorer{t: t, maskBuf: make([]uint64, t.words)}
+	return &coneScorer{t: t, maskBuf: make([]uint64, t.words), acc: newExactAcc()}
 }
 
 // Fork lets a forked scorer be forked again (it only needs the table).
 func (s *coneScorer) Fork() phase.AssignmentScorer { return newConeScorer(s.t) }
 
+// NewState and NewBound delegate to the shared table, so a forked
+// scorer still advertises the incremental fast paths
+// (phase.StateScorer / phase.BoundScorer).
+func (s *coneScorer) NewState() phase.ScoreState { return s.t.NewState() }
+
+// NewBound implements phase.BoundScorer on forked scorers.
+func (s *coneScorer) NewBound() phase.PrefixBound { return s.t.NewBound() }
+
 // ScoreAssignment folds the signature-gated constants under the
-// assignment's phase mask. Groups are visited in canonical table order,
-// so the score is a bit-identical pure function of the assignment — the
-// property that keeps sharded searches deterministic at any worker
-// count.
+// assignment's phase mask into an exact accumulator and returns the
+// correctly rounded sum. Exact summation makes the score independent of
+// fold order, so it is a bit-identical pure function of the assignment —
+// shared with the incremental ScoreState, whose flip paths add and
+// remove the very same constants — which is the property that keeps
+// every sharded search deterministic at any worker count.
 func (s *coneScorer) ScoreAssignment(asg phase.Assignment) (float64, error) {
 	t := s.t
 	if len(asg) != t.k {
@@ -313,26 +364,26 @@ func (s *coneScorer) ScoreAssignment(asg phase.Assignment) (float64, error) {
 			s.maskBuf[i>>6] |= uint64(1) << uint(i&63)
 		}
 	}
-	total := 0.0
+	s.acc.Reset()
 	if t.words == 1 {
 		m := s.maskBuf[0]
-		pos, neg, gk := t.pos, t.neg, t.gk
-		for g := range gk {
+		pos, neg := t.pos, t.neg
+		for g := range t.gk {
 			if (^m&pos[g])|(m&neg[g]) != 0 {
-				total += gk[g]
+				t.addGroup(s.acc, int32(g))
 			}
 		}
-		return total, nil
+		return s.acc.Round(), nil
 	}
 	W := t.words
 	for g := range t.gk {
 		base := g * W
 		for w := 0; w < W; w++ {
 			if (^s.maskBuf[w]&t.pos[base+w])|(s.maskBuf[w]&t.neg[base+w]) != 0 {
-				total += t.gk[g]
+				t.addGroup(s.acc, int32(g))
 				break
 			}
 		}
 	}
-	return total, nil
+	return s.acc.Round(), nil
 }

@@ -1,0 +1,255 @@
+// Exact float64 accumulation.
+//
+// The incremental score state updates a running total by adding and
+// removing signature-group constants in whatever order a search flips
+// phase bits, yet must reproduce ScoreAssignment's full fold bit-for-bit
+// (that equality is what makes every strategy's winner a pure function
+// of the assignment, independent of flip path, shard geometry, or worker
+// count). Ordinary float64 addition is not associative, so a running
+// float total cannot deliver that. exactAcc instead keeps the sum as an
+// exact fixed-point integer — a "long accumulator" over 32-bit limbs
+// spanning the entire float64 exponent range — in which adding or
+// removing any finite float64 is exact and therefore order-independent.
+// Round() returns the correctly rounded (nearest-even) float64 of the
+// exact sum, so two states holding the same multiset of terms round to
+// the identical float no matter how they got there.
+package power
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+const (
+	// accLimbs × 32 bits must cover 2^-1074 (smallest subnormal LSB)
+	// through 2^1024·2^29 (largest magnitude times the carry headroom
+	// accRenormEvery allows): bias 1088 + 1024 + 29 < 70·32 = 2240.
+	accLimbs = 70
+	// accBias is the bit position of 2^0 inside the accumulator: limb i
+	// bit b holds weight 2^(32i + b − accBias). A multiple of 32.
+	accBias = 1088
+	// accRenormEvery bounds how many raw adds may pile into one limb
+	// before carries are propagated; each add contributes < 2^32 per
+	// limb, so 2^29 adds stay well inside int64.
+	accRenormEvery = 1 << 29
+)
+
+// exactAcc is an exact signed fixed-point accumulator for float64 terms.
+// The zero value is ready to use (empty window, value 0). It is not safe
+// for concurrent use.
+type exactAcc struct {
+	limb [accLimbs]int64
+	// [lo, hi] is the window of possibly-nonzero limbs; lo > hi means
+	// the value is exactly zero. Keeping the window tight is what makes
+	// Round O(window) instead of O(accLimbs) — score terms share a
+	// narrow exponent band, so the window is a handful of limbs.
+	lo, hi int
+	adds   int
+}
+
+// newExactAcc returns an empty accumulator.
+func newExactAcc() *exactAcc { return &exactAcc{lo: accLimbs, hi: -1} }
+
+// Reset empties the accumulator (value 0) without releasing storage.
+func (a *exactAcc) Reset() {
+	for i := a.lo; i <= a.hi; i++ {
+		a.limb[i] = 0
+	}
+	a.lo, a.hi = accLimbs, -1
+	a.adds = 0
+}
+
+// Add adds x (±) to the exact sum. x must be finite.
+func (a *exactAcc) Add(x float64) { a.add(x, 1) }
+
+// Sub subtracts x from the exact sum. x must be finite.
+func (a *exactAcc) Sub(x float64) { a.add(x, -1) }
+
+func (a *exactAcc) add(x float64, sign int64) {
+	if x == 0 {
+		return
+	}
+	l, p0, p1, p2 := decomposePieces(x)
+	a.addPieces(l, sign*p0, sign*p1, sign*p2)
+}
+
+// decomposePieces splits a finite nonzero float64 into its signed
+// accumulator limb pieces: x = (p0 + p1·2^32 + p2·2^64) · 2^(32l − accBias).
+// States precompose their constants once so the hot path skips this.
+func decomposePieces(x float64) (l int, p0, p1, p2 int64) {
+	bits := math.Float64bits(x)
+	sign := int64(1)
+	if bits&(1<<63) != 0 {
+		sign = -1
+	}
+	exp := int(bits >> 52 & 0x7ff)
+	mant := bits & (1<<52 - 1)
+	switch exp {
+	case 0x7ff:
+		panic(fmt.Sprintf("power: exactAcc: non-finite term %v", x))
+	case 0:
+		exp = 1 // subnormal: same LSB weight, no implicit bit
+	default:
+		mant |= 1 << 52
+	}
+	// Value = mant · 2^(exp−1075); LSB bit position inside the
+	// accumulator:
+	p := exp - 1075 + accBias
+	l = p >> 5
+	off := uint(p & 31)
+	wlo := mant << off
+	whi := mant >> (64 - off) // off==0 → shift by 64 → 0 (Go semantics)
+	return l, sign * int64(wlo&0xffffffff), sign * int64(wlo>>32), sign * int64(whi)
+}
+
+// addPieces folds one decomposed term (possibly negated as a whole)
+// into limbs l, l+1, l+2.
+func (a *exactAcc) addPieces(l int, p0, p1, p2 int64) {
+	a.limb[l] += p0
+	a.limb[l+1] += p1
+	a.limb[l+2] += p2
+	if l < a.lo {
+		a.lo = l
+	}
+	if l+2 > a.hi {
+		a.hi = l + 2
+	}
+	if a.adds++; a.adds >= accRenormEvery {
+		a.renorm()
+	}
+}
+
+// renorm propagates carries so every limb in the window lies in
+// [0, 2^32) — except the top accumulator limb, which stays signed and
+// therefore carries the overall sign. It then retightens the window.
+func (a *exactAcc) renorm() {
+	var carry int64
+	hi := a.hi
+	for i := a.lo; i < accLimbs-1; i++ {
+		if i > hi && carry == 0 {
+			break
+		}
+		t := a.limb[i] + carry
+		a.limb[i] = t & 0xffffffff
+		carry = t >> 32
+		if i > hi && a.limb[i] != 0 {
+			hi = i
+		}
+	}
+	if carry != 0 {
+		a.limb[accLimbs-1] += carry
+		hi = accLimbs - 1
+	}
+	// Retighten: masking and carries may have zeroed boundary limbs.
+	lo := a.lo
+	for lo <= hi && a.limb[lo] == 0 {
+		lo++
+	}
+	for hi >= lo && a.limb[hi] == 0 {
+		hi--
+	}
+	if lo > hi {
+		lo, hi = accLimbs, -1
+	}
+	a.lo, a.hi = lo, hi
+	a.adds = 0
+}
+
+// Round returns the exact sum correctly rounded to the nearest float64
+// (ties to even). The receiver's value is unchanged (it is renormalized
+// in place, which preserves it).
+func (a *exactAcc) Round() float64 {
+	a.renorm()
+	if a.hi < 0 {
+		return 0
+	}
+	neg := a.limb[a.hi] < 0
+	if neg {
+		// Negate in place, renormalize back to canonical non-negative
+		// limbs, round the magnitude, and restore the receiver.
+		a.negate()
+		m := a.roundMagnitude()
+		a.negate()
+		return -m
+	}
+	return a.roundMagnitude()
+}
+
+func (a *exactAcc) negate() {
+	for i := a.lo; i <= a.hi; i++ {
+		a.limb[i] = -a.limb[i]
+	}
+	a.renorm()
+}
+
+// limbAt reads a canonical limb, padding the window with zeros.
+func (a *exactAcc) limbAt(i int) uint64 {
+	if i < a.lo || i < 0 {
+		return 0
+	}
+	return uint64(a.limb[i])
+}
+
+// roundMagnitude rounds the (canonical, non-negative) limbs to float64.
+// A float64 significand plus guard spans at most 86 bits, so the top
+// four limbs (a 128-bit window anchored at the highest set bit) hold
+// the significand, guard, and most of the sticky; lower limbs only
+// contribute to sticky.
+func (a *exactAcc) roundMagnitude() float64 {
+	hi := a.hi
+	if hi < 0 {
+		return 0
+	}
+	A := uint64(a.limb[hi])<<32 | a.limbAt(hi-1)
+	B := a.limbAt(hi-2)<<32 | a.limbAt(hi-3)
+	// AB is the 128-bit window A·2^64 + B; its bit 0 sits at global bit
+	// (hi−3)·32 (weight 2^((hi−3)·32 − accBias)).
+	base := (hi - 3) * 32
+	msb := base + 64 + bits.Len64(A) - 1
+	// The significand's LSB sits 52 below the MSB, but never below the
+	// smallest subnormal weight (bit accBias−1074): stopping there keeps
+	// subnormal results single-rounded.
+	lsb := msb - 52
+	if min := accBias - 1074; lsb < min {
+		lsb = min
+	}
+	s := uint(lsb - base) // LSB's position inside AB; 12 ≤ s ≤ 127
+	var m uint64
+	var guard, sticky bool
+	if s >= 64 {
+		m = A >> (s - 64)
+		if s == 64 {
+			guard = B>>63 != 0
+			sticky = B&(1<<63-1) != 0
+		} else {
+			guard = A>>(s-65)&1 != 0
+			sticky = A&(1<<(s-65)-1) != 0 || B != 0
+		}
+	} else {
+		m = A<<(64-s) | B>>s
+		guard = B>>(s-1)&1 != 0
+		sticky = B&(1<<(s-1)-1) != 0
+	}
+	if guard && !sticky {
+		for i := a.lo; i <= hi-4; i++ {
+			if a.limb[i] != 0 {
+				sticky = true
+				break
+			}
+		}
+	}
+	if guard && (sticky || m&1 == 1) {
+		m++
+	}
+	e := lsb - accBias
+	// Direct float assembly for the common normal case; Ldexp covers
+	// subnormal, overflow, and the rounded-up-to-2^53 edge.
+	if n := bits.Len64(m); n > 0 && n <= 53 {
+		if be := e + n - 1; be >= -1022 && be <= 1023 {
+			frac := m << uint(53-n)
+			return math.Float64frombits(uint64(be+1023)<<52 | frac&(1<<52-1))
+		}
+	}
+	return math.Ldexp(float64(m), e)
+}

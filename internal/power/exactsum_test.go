@@ -1,0 +1,158 @@
+package power
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// bigSum computes the exact sum of the multiset with math/big at a
+// precision wide enough (whole float64 range + headroom) that every Add
+// is exact, then rounds once to float64 — the reference for Round().
+func bigSum(terms []float64) float64 {
+	acc := new(big.Float).SetPrec(2400)
+	t := new(big.Float).SetPrec(2400)
+	for _, x := range terms {
+		t.SetFloat64(x)
+		acc.Add(acc, t)
+	}
+	f, _ := acc.Float64()
+	return f
+}
+
+// randTerm draws floats across sign and a wide (but finite) exponent
+// range, including subnormals and exact powers of two.
+func randTerm(rng *rand.Rand) float64 {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return math.Ldexp(1, rng.Intn(300)-150) // exact powers of two
+	case 2:
+		return math.Ldexp(rng.Float64(), -1060) // deep subnormal territory
+	case 3:
+		return math.Ldexp(rng.Float64(), 900) // huge
+	}
+	x := rng.NormFloat64() * math.Ldexp(1, rng.Intn(80)-40)
+	return x
+}
+
+// TestExactAccMatchesBigFloat pins Round against the big.Float oracle
+// over random multisets, including sign mixes and extreme exponents.
+func TestExactAccMatchesBigFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(40)
+		terms := make([]float64, n)
+		acc := newExactAcc()
+		for i := range terms {
+			terms[i] = randTerm(rng)
+			if rng.Intn(4) == 0 {
+				terms[i] = -terms[i]
+			}
+			acc.Add(terms[i])
+		}
+		want := bigSum(terms)
+		if got := acc.Round(); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: Round() = %v (%x), big.Float = %v (%x), terms %v",
+				trial, got, math.Float64bits(got), want, math.Float64bits(want), terms)
+		}
+		// Round must not perturb the value: rounding twice agrees.
+		if got2 := acc.Round(); got2 != want {
+			t.Fatalf("trial %d: second Round() = %v != %v", trial, got2, want)
+		}
+	}
+}
+
+// TestExactAccOrderAndRemovalIndependence is the property the score
+// state rests on: any interleaving of adds and exact removals that ends
+// at the same multiset rounds to the identical float64.
+func TestExactAccOrderAndRemovalIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(20)
+		terms := make([]float64, n)
+		for i := range terms {
+			terms[i] = randTerm(rng)
+		}
+		// Reference: straight fold.
+		ref := newExactAcc()
+		for _, x := range terms {
+			ref.Add(x)
+		}
+		want := ref.Round()
+
+		// Shuffled fold with spurious add/remove churn.
+		acc := newExactAcc()
+		perm := rng.Perm(n)
+		for _, i := range perm {
+			acc.Add(terms[i])
+			if rng.Intn(3) == 0 {
+				j := rng.Intn(n)
+				acc.Add(terms[j])
+				acc.Sub(terms[j])
+			}
+		}
+		if got := acc.Round(); got != want {
+			t.Fatalf("trial %d: churned sum %v != straight %v", trial, got, want)
+		}
+		// Removing everything returns to exact zero.
+		for _, x := range terms {
+			acc.Sub(x)
+		}
+		if got := acc.Round(); got != 0 {
+			t.Fatalf("trial %d: emptied accumulator rounds to %v, want 0", trial, got)
+		}
+	}
+}
+
+// TestExactAccNegativeAndCancellation covers signed totals and massive
+// cancellation, where running float sums lose everything.
+func TestExactAccNegativeAndCancellation(t *testing.T) {
+	acc := newExactAcc()
+	acc.Add(1e300)
+	acc.Add(3.5)
+	acc.Sub(1e300)
+	if got := acc.Round(); got != 3.5 {
+		t.Fatalf("cancellation: %v, want 3.5", got)
+	}
+	acc.Sub(10)
+	if got := acc.Round(); got != -6.5 {
+		t.Fatalf("negative total: %v, want -6.5", got)
+	}
+	acc.Reset()
+	if got := acc.Round(); got != 0 {
+		t.Fatalf("reset: %v, want 0", got)
+	}
+	// Tie-to-even: 1 + 2^-53 rounds down to 1, 1 + 2^-52 + 2^-53 rounds
+	// up to 1 + 2^-51.
+	acc.Add(1)
+	acc.Add(math.Ldexp(1, -53))
+	if got := acc.Round(); got != 1 {
+		t.Fatalf("tie-to-even down: %x, want 1", math.Float64bits(got))
+	}
+	acc.Add(math.Ldexp(1, -52))
+	want := 1 + math.Ldexp(1, -51)
+	if got := acc.Round(); got != want {
+		t.Fatalf("tie-to-even up: %v, want %v", got, want)
+	}
+}
+
+// TestExactAccRenormStress forces many same-limb adds past the renorm
+// threshold bound logic (scaled down via direct renorm calls).
+func TestExactAccRenormStress(t *testing.T) {
+	acc := newExactAcc()
+	terms := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		x := float64(i%97) * 0.001
+		terms = append(terms, x)
+		acc.Add(x)
+		if i%577 == 0 {
+			acc.renorm()
+		}
+	}
+	if got, want := acc.Round(), bigSum(terms); got != want {
+		t.Fatalf("stress sum %v != %v", got, want)
+	}
+}

@@ -1,0 +1,335 @@
+// Incremental cone-table scoring.
+//
+// The cone table prices an assignment as Σ K_g over active signature
+// groups, where group g is active iff any demanding cone is selected:
+// (~mask ∧ pos_g) ∨ (mask ∧ neg_g) ≠ 0. Flipping one phase bit can only
+// change the activity of groups whose signature mentions that bit, so a
+// ScoreState keeps, per group, the *count* of currently selected
+// demanding (output, phase) pairs and, per bit, the list of groups whose
+// pos/neg signature contains the bit. Flip(bit) then walks just those
+// lists — O(groups touching bit) — adjusting counts and adding/removing
+// K_g from an exact accumulator whenever a count crosses zero. Because
+// the accumulator is exact and order-independent (see exactsum.go), the
+// rounded score after any flip path equals ScoreAssignment of the
+// reached assignment bit-for-bit — the incremental contract every
+// search strategy's determinism rests on.
+//
+// The BoundState extends the same per-bit index to branch-and-bound:
+// bits are *decided* (not flipped) in descending bit order, and the
+// accumulator tracks an admissible lower bound — forced-active groups
+// plus the negative-constant slack of still-undetermined ones — that
+// becomes the exact score at full depth.
+package power
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/phase"
+)
+
+// flipIndex is the per-bit CSR index over signature groups: for every
+// phase bit, which groups mention it on the positive (demanded when the
+// output keeps positive phase) and negative side. Built once per table,
+// in canonical group order, and shared immutably by all states.
+//
+// Groups whose pos and neg signatures share a bit are active under
+// EVERY mask (whichever phase that output takes, one of its cones
+// demands the element — shared input rails are the archetype): they are
+// excluded from the per-bit lists entirely and contribute a constant.
+// touch[g] == 0 marks such a group.
+type flipIndex struct {
+	posOff, negOff []int32
+	pos, neg       []int32
+	// touch[g] is the total number of (bit, side) occurrences of group
+	// g in the lists — the BoundState's initial undecided count — and 0
+	// for always-active (constant) groups.
+	touch []int32
+}
+
+// constantGroup reports whether group g is active under every mask.
+func constantGroup(t *ConeTable, g int) bool {
+	base := g * t.words
+	for w := 0; w < t.words; w++ {
+		if t.pos[base+w]&t.neg[base+w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func buildFlipIndex(t *ConeTable) *flipIndex {
+	k, words, groups := t.k, t.words, len(t.gk)
+	idx := &flipIndex{
+		posOff: make([]int32, k+1),
+		negOff: make([]int32, k+1),
+		touch:  make([]int32, groups),
+	}
+	isConst := make([]bool, groups)
+	for g := 0; g < groups; g++ {
+		isConst[g] = constantGroup(t, g)
+	}
+	count := func(sig []uint64, off []int32) {
+		for g := 0; g < groups; g++ {
+			if isConst[g] {
+				continue
+			}
+			base := g * words
+			for w := 0; w < words; w++ {
+				v := sig[base+w]
+				for v != 0 {
+					b := w<<6 + bits.TrailingZeros64(v)
+					v &= v - 1
+					off[b+1]++
+					idx.touch[g]++
+				}
+			}
+		}
+	}
+	count(t.pos, idx.posOff)
+	count(t.neg, idx.negOff)
+	for b := 0; b < k; b++ {
+		idx.posOff[b+1] += idx.posOff[b]
+		idx.negOff[b+1] += idx.negOff[b]
+	}
+	idx.pos = make([]int32, idx.posOff[k])
+	idx.neg = make([]int32, idx.negOff[k])
+	fillPos := append([]int32(nil), idx.posOff[:k]...)
+	fillNeg := append([]int32(nil), idx.negOff[:k]...)
+	fill := func(sig []uint64, list []int32, next []int32) {
+		for g := 0; g < groups; g++ {
+			if isConst[g] {
+				continue
+			}
+			base := g * words
+			for w := 0; w < words; w++ {
+				v := sig[base+w]
+				for v != 0 {
+					b := w<<6 + bits.TrailingZeros64(v)
+					v &= v - 1
+					list[next[b]] = int32(g)
+					next[b]++
+				}
+			}
+		}
+	}
+	fill(t.pos, idx.pos, fillPos)
+	fill(t.neg, idx.neg, fillNeg)
+	return idx
+}
+
+// index returns the lazily built shared flip index.
+func (t *ConeTable) index() *flipIndex {
+	t.idxOnce.Do(func() { t.idx = buildFlipIndex(t) })
+	return t.idx
+}
+
+// ScoreState is the cone table's incremental scorer: a mutable phase
+// assignment whose Flip reprices only the signature groups touching the
+// flipped bit, with the running total held in an exact accumulator so
+// Score always equals ScoreAssignment of the current assignment
+// bit-for-bit. Not safe for concurrent use; mint one per goroutine with
+// NewState.
+type ScoreState struct {
+	t       *ConeTable
+	idx     *flipIndex
+	cnt     []int32 // selected demanding pairs per group
+	acc     *exactAcc
+	asg     []bool
+	maskBuf []uint64
+	score   float64
+}
+
+// NewState mints an independent incremental scorer over the shared
+// immutable table (the phase.StateScorer contract; safe to call
+// concurrently). The state starts empty — call Set before Flip.
+func (t *ConeTable) NewState() phase.ScoreState {
+	return &ScoreState{
+		t:       t,
+		idx:     t.index(),
+		cnt:     make([]int32, len(t.gk)),
+		acc:     newExactAcc(),
+		asg:     make([]bool, t.k),
+		maskBuf: make([]uint64, t.words),
+	}
+}
+
+// Set loads a full assignment and returns its score (= ScoreAssignment,
+// bit-for-bit).
+func (s *ScoreState) Set(asg phase.Assignment) (float64, error) {
+	t := s.t
+	if len(asg) != t.k {
+		return 0, fmt.Errorf("power: assignment for %d outputs, cone table has %d", len(asg), t.k)
+	}
+	copy(s.asg, asg)
+	for w := range s.maskBuf {
+		s.maskBuf[w] = 0
+	}
+	for i, neg := range asg {
+		if neg {
+			s.maskBuf[i>>6] |= uint64(1) << uint(i&63)
+		}
+	}
+	s.acc.Reset()
+	W := t.words
+	for g := range t.gk {
+		base := g * W
+		c := int32(0)
+		for w := 0; w < W; w++ {
+			c += int32(bits.OnesCount64(^s.maskBuf[w]&t.pos[base+w]) + bits.OnesCount64(s.maskBuf[w]&t.neg[base+w]))
+		}
+		s.cnt[g] = c
+		if c > 0 {
+			t.addGroup(s.acc, int32(g))
+		}
+	}
+	s.score = s.acc.Round()
+	return s.score, nil
+}
+
+// Flip toggles output bit's phase and returns the updated score. Cost is
+// O(groups whose signature mentions bit): each touched group's demand
+// count moves by one, and only zero crossings touch the accumulator.
+func (s *ScoreState) Flip(bit int) float64 {
+	idx, cnt, t := s.idx, s.cnt, s.t
+	nowNeg := !s.asg[bit]
+	s.asg[bit] = nowNeg
+	// Positive-side demands are selected while the output keeps positive
+	// phase: turning negative deselects them (and vice versa); the
+	// negative side mirrors.
+	if nowNeg {
+		for _, g := range idx.pos[idx.posOff[bit]:idx.posOff[bit+1]] {
+			if cnt[g]--; cnt[g] == 0 {
+				t.subGroup(s.acc, g)
+			}
+		}
+		for _, g := range idx.neg[idx.negOff[bit]:idx.negOff[bit+1]] {
+			if cnt[g]++; cnt[g] == 1 {
+				t.addGroup(s.acc, g)
+			}
+		}
+	} else {
+		for _, g := range idx.pos[idx.posOff[bit]:idx.posOff[bit+1]] {
+			if cnt[g]++; cnt[g] == 1 {
+				t.addGroup(s.acc, g)
+			}
+		}
+		for _, g := range idx.neg[idx.negOff[bit]:idx.negOff[bit+1]] {
+			if cnt[g]--; cnt[g] == 0 {
+				t.subGroup(s.acc, g)
+			}
+		}
+	}
+	s.score = s.acc.Round()
+	return s.score
+}
+
+// Score returns the current total.
+func (s *ScoreState) Score() float64 { return s.score }
+
+// Err implements phase.ScoreState; the cone-table state cannot fail
+// after a successful Set.
+func (s *ScoreState) Err() error { return nil }
+
+// BoundState is the cone table's admissible prefix bound for
+// branch-and-bound (phase.PrefixBound). Bits are decided in descending
+// bit order; the bound is
+//
+//	Σ K_g over groups forced active by decided bits
+//	  + Σ min(K_g, 0) over groups still undetermined
+//
+// which every completion's exact score dominates (an undetermined group
+// contributes either 0 or K_g ≥ min(K_g, 0); a forced group contributes
+// exactly K_g; a dead group 0). Both sums live in one exact
+// accumulator — activation of a non-negative group adds K_g, death of a
+// negative group removes its slack — so the bound is exact arithmetic
+// and, at full depth, IS the assignment's score bit-for-bit. Rounding
+// is monotone, so the rounded bound never exceeds any completion's
+// rounded score: pruning on it can never cut the true winner.
+type BoundState struct {
+	t         *ConeTable
+	idx       *flipIndex
+	act       []int32 // decided occurrences that activate the group
+	remaining []int32 // undecided (bit, side) occurrences
+	acc       *exactAcc
+	negs      []bool // decided values, for Undo
+	depth     int
+}
+
+// NewBound mints an independent prefix-bound state (the
+// phase.BoundScorer contract; safe to call concurrently).
+func (t *ConeTable) NewBound() phase.PrefixBound {
+	idx := t.index()
+	b := &BoundState{
+		t:         t,
+		idx:       idx,
+		act:       make([]int32, len(t.gk)),
+		remaining: append([]int32(nil), idx.touch...),
+		acc:       newExactAcc(),
+		negs:      make([]bool, t.k),
+	}
+	for g, v := range t.gk {
+		if idx.touch[g] == 0 {
+			// Always-active group: its constant joins the bound exactly.
+			b.acc.Add(v)
+		} else if v < 0 {
+			b.acc.Add(v)
+		}
+	}
+	return b
+}
+
+// Decide fixes the next undecided bit (descending bit order: bit k−1
+// first) to the given phase and returns the admissible lower bound over
+// all completions.
+func (b *BoundState) Decide(neg bool) float64 {
+	bit := b.t.k - 1 - b.depth
+	idx, gk := b.idx, b.t.gk
+	actList := idx.pos[idx.posOff[bit]:idx.posOff[bit+1]]
+	othList := idx.neg[idx.negOff[bit]:idx.negOff[bit+1]]
+	if neg {
+		actList, othList = othList, actList
+	}
+	for _, g := range actList {
+		b.remaining[g]--
+		if b.act[g]++; b.act[g] == 1 && gk[g] >= 0 {
+			b.t.addGroup(b.acc, g)
+		}
+	}
+	for _, g := range othList {
+		if b.remaining[g]--; b.remaining[g] == 0 && b.act[g] == 0 && gk[g] < 0 {
+			// Dead group: it can no longer be activated, so its negative
+			// slack leaves the bound.
+			b.t.subGroup(b.acc, g)
+		}
+	}
+	b.negs[b.depth] = neg
+	b.depth++
+	return b.acc.Round()
+}
+
+// Undo reverts the most recent Decide.
+func (b *BoundState) Undo() {
+	b.depth--
+	neg := b.negs[b.depth]
+	bit := b.t.k - 1 - b.depth
+	idx, gk := b.idx, b.t.gk
+	actList := idx.pos[idx.posOff[bit]:idx.posOff[bit+1]]
+	othList := idx.neg[idx.negOff[bit]:idx.negOff[bit+1]]
+	if neg {
+		actList, othList = othList, actList
+	}
+	// Reverse of Decide's operation order.
+	for _, g := range othList {
+		if b.remaining[g] == 0 && b.act[g] == 0 && gk[g] < 0 {
+			b.t.addGroup(b.acc, g)
+		}
+		b.remaining[g]++
+	}
+	for _, g := range actList {
+		b.remaining[g]++
+		if b.act[g]--; b.act[g] == 0 && gk[g] >= 0 {
+			b.t.subGroup(b.acc, g)
+		}
+	}
+}
