@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench conebench searchbench lint fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench searchbench corpussmoke lint fmt benchsuite
 
 all: lint build test
 
@@ -42,6 +42,18 @@ conebench:
 # or if annealing fails to strictly beat the MinPower heuristic at k=32.
 searchbench:
 	$(GO) run ./cmd/benchsuite -search-bench-out BENCH_4.json
+
+# Corpus smoke: emit the small public twins as BLIF, stream the
+# directory through the concurrent corpus engine (untimed and timed
+# flows), and gate on row agreement with the direct in-memory gen-twin
+# flow (-check-twins): sizes must match exactly, measured/estimated
+# power to float-noise tolerance. Exits non-zero on any disagreement,
+# parse failure, or error row.
+corpussmoke:
+	rm -rf corpus-smoke
+	$(GO) run ./cmd/genbench -dir corpus-smoke -only apex7,frg1,x1
+	$(GO) run ./cmd/dominoflow -dir corpus-smoke -vectors 512 -workers 4 -check-twins -jsonl corpus-smoke/rows.jsonl
+	$(GO) run ./cmd/dominoflow -dir corpus-smoke -table 2 -vectors 512 -workers 2 -check-twins
 
 lint:
 	$(GO) vet ./...

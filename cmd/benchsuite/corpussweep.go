@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/par"
+	"repro/internal/phase"
+)
+
+// runCorpusSweep is benchsuite's corpus mode: it discovers .blif/.pla
+// files under the given paths and sweeps every (circuit, objective[,
+// strategy]) configuration concurrently — the same sweep-and-persist
+// workflow as the twin suite, but over an arbitrary on-disk corpus.
+// Latched BLIF models are swept in their standard combinational view
+// (latch boundaries as pseudo-PIs/POs). Parse failures are isolated
+// into skipped rows; they never sink the sweep.
+func runCorpusSweep(paths []string, strategies []string, outDir string, workers, vectors int, seed int64, shards, exLimit int) error {
+	entries, err := corpus.Discover(paths...)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no .blif/.pla files under %s", strings.Join(paths, ","))
+	}
+
+	type strat struct {
+		name  string
+		strat phase.SearchStrategy
+	}
+	mpStrats := []strat{{"", phase.StrategyAuto}}
+	if len(strategies) > 0 {
+		mpStrats = mpStrats[:0]
+		for _, s := range strategies {
+			ps, err := phase.ParseStrategy(s)
+			if err != nil {
+				return err
+			}
+			label := s
+			if ps == phase.StrategyAuto {
+				label = ""
+			}
+			mpStrats = append(mpStrats, strat{label, ps})
+		}
+	}
+
+	type job struct {
+		entry     corpus.Entry
+		objective string
+		strategy  strat
+		skip      string
+	}
+	var jobs []job
+	// Discovery is cheap; parse interfaces up front so exhaustive-limit
+	// skips are decided deterministically before the sweep.
+	circuits := make(map[string]*corpus.Circuit, len(entries))
+	for _, e := range entries {
+		c, err := corpus.Load(e)
+		if err != nil {
+			jobs = append(jobs, job{entry: e, objective: "parse", skip: err.Error()})
+			continue
+		}
+		circuits[e.Path] = c
+		for _, o := range objectives {
+			switch o.obj {
+			case core.MinPower:
+				for _, s := range mpStrats {
+					jobs = append(jobs, job{entry: e, objective: o.name, strategy: s})
+				}
+			case core.ExhaustivePower:
+				j := job{entry: e, objective: o.name}
+				if pos := c.Named.Net.NumOutputs(); pos > exLimit {
+					j.skip = fmt.Sprintf("2^%d assignments exceed -exhaustive-limit %d", pos, exLimit)
+				}
+				jobs = append(jobs, j)
+			default:
+				jobs = append(jobs, job{entry: e, objective: o.name})
+			}
+		}
+	}
+
+	objOf := func(name string) core.Objective {
+		for _, o := range objectives {
+			if o.name == name {
+				return o.obj
+			}
+		}
+		return core.MinArea
+	}
+
+	start := time.Now()
+	rows, err := par.Map(context.Background(), len(jobs), workers,
+		func(_ context.Context, i int) (Row, error) {
+			j := jobs[i]
+			label := j.objective
+			if j.strategy.name != "" {
+				label += "/" + j.strategy.name
+			}
+			row := Row{Circuit: j.entry.Name, Objective: label}
+			if j.skip != "" {
+				row.Skipped = true
+				row.Reason = j.skip
+				return row, nil
+			}
+			c := circuits[j.entry.Path]
+			row.PIs = c.Named.Net.NumInputs()
+			row.POs = c.Named.Net.NumOutputs()
+			t0 := time.Now()
+			res, err := core.Synthesize(c.Named.Net, core.Options{
+				Objective:      objOf(j.objective),
+				Vectors:        vectors,
+				Seed:           seed,
+				Workers:        1,
+				SimShards:      shards,
+				SearchStrategy: j.strategy.strat,
+				SearchSeed:     seed,
+			})
+			if err != nil {
+				// Same isolation contract as the corpus engine: one bad
+				// configuration reports itself and the sweep carries on.
+				row.Skipped = true
+				row.Reason = err.Error()
+				return row, nil
+			}
+			row.WallSec = time.Since(t0).Seconds()
+			row.Gates = res.Block.DominoCellCount()
+			row.Inverters = res.Block.InverterCount()
+			row.EstPower = res.EstimatedPower
+			row.SimPower = res.MeasuredPower
+			log.Printf("%-16s %-16s done in %6.2fs", row.Circuit, row.Objective, row.WallSec)
+			return row, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	suite := Suite{
+		GeneratedAt: time.Now().UTC(),
+		Vectors:     vectors,
+		Seed:        seed,
+		Shards:      shards,
+		Workers:     workers,
+		WallSec:     time.Since(start).Seconds(),
+		Rows:        rows,
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(outDir, "results.json"), suite); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "results.md"), []byte(markdown(suite)), 0o644); err != nil {
+		return err
+	}
+	log.Printf("%d corpus configurations in %.1fs -> %s/results.{md,json}",
+		len(rows), suite.WallSec, outDir)
+	return nil
+}

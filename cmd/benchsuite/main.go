@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/gen"
 	"repro/internal/par"
 )
@@ -120,6 +121,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "kernel-benchmark mode: measure the scalar vs bit-parallel sim kernels and the BDD engine, write the JSON record to this path (e.g. BENCH_2.json), and exit without sweeping")
 	coneBenchOut := flag.String("cone-bench-out", "", "cone-table benchmark mode: measure the cached-cone exhaustive phase search against the naive per-mask Apply+Estimate path on the synth12 twin, verify both agree and that the winner is worker-invariant, write the JSON record to this path (e.g. BENCH_3.json), and exit without sweeping")
 	searchBenchOut := flag.String("search-bench-out", "", "search-strategy benchmark mode: measure per-candidate full rescore vs incremental gray-code Flip on the synth12 twin (>=10x gate), verify gray/branch-and-bound winner agreement with the reference scan across worker counts, run the beyond-exhaustive strategies on the wide twins (annealing must strictly beat the MinPower heuristic at k=32), write the JSON record to this path (e.g. BENCH_4.json), and exit without sweeping")
+	corpusPaths := flag.String("corpus", "", "corpus mode: sweep the .blif/.pla files under these comma-separated directories/globs/files instead of the generated twins")
+	strategiesFlag := flag.String("strategies", "", "corpus mode: comma-separated MinPower search strategies to sweep (auto, exhaustive, bb, anneal, greedy); empty = the paper's pairwise heuristic only")
 	flag.Parse()
 
 	if *benchOut != "" {
@@ -136,6 +139,14 @@ func main() {
 	}
 	if *searchBenchOut != "" {
 		if err := runSearchBench(*searchBenchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *corpusPaths != "" {
+		paths := corpus.SplitList(*corpusPaths)
+		strategies := corpus.SplitList(*strategiesFlag)
+		if err := runCorpusSweep(paths, strategies, *outDir, *workers, *vectors, *seed, *shards, *exLimit); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -9,9 +9,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/blif"
+	"repro/internal/corpus"
 	"repro/internal/gen"
 )
 
@@ -19,13 +21,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("genbench: ")
 	dir := flag.String("dir", "benchmarks", "output directory")
+	only := flag.String("only", "", "comma-separated twin names to emit (e.g. apex7,frg1,x1); empty = all")
 	flag.Parse()
+
+	filter := make(map[string]bool)
+	for _, n := range corpus.SplitList(strings.ToLower(*only)) {
+		filter[n] = true
+	}
+	filtering := len(filter) > 0
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	for _, c := range append(gen.Table1Circuits(), gen.WideCircuits()...) {
-		name := strings.ReplaceAll(strings.ToLower(c.Name), " ", "")
+	for _, c := range gen.KnownCircuits() {
+		name := c.FileName()
+		if filtering && !filter[name] {
+			continue
+		}
+		delete(filter, name)
 		path := filepath.Join(*dir, name+".blif")
 		f, err := os.Create(path)
 		if err != nil {
@@ -39,5 +52,15 @@ func main() {
 		}
 		fmt.Printf("%-24s %4d PIs %4d POs %5d gates\n", path,
 			c.Net.NumInputs(), c.Net.NumOutputs(), c.Net.GateCount())
+	}
+	// Unmatched names are errors, not silent coverage shrink — the
+	// corpussmoke gate relies on every requested twin being emitted.
+	if len(filter) > 0 {
+		var missing []string
+		for n := range filter {
+			missing = append(missing, n)
+		}
+		sort.Strings(missing)
+		log.Fatalf("-only names match no twin: %s", strings.Join(missing, ", "))
 	}
 }

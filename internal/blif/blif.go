@@ -60,30 +60,21 @@ func Parse(r io.Reader) (*Model, error) {
 	var covers []*cover
 	var current *cover
 	seenEnd := false
+	inExdc := false
 
 	lineNo := 0
-	var pending string
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		line = strings.TrimSpace(line)
-		if strings.HasSuffix(line, "\\") {
-			pending += strings.TrimSuffix(line, "\\") + " "
-			continue
-		}
-		line = pending + line
-		pending = ""
-		if line == "" {
-			continue
-		}
+	process := func(line string) error {
 		fields := strings.Fields(line)
+		if inExdc && fields[0] != ".end" {
+			// The external-don't-care section describes flexibility, not
+			// the model: its .names covers (and any other construct) must
+			// not merge into the main network. Skip wholesale until .end.
+			return nil
+		}
 		switch fields[0] {
 		case ".model":
 			if name != "" {
-				return nil, fmt.Errorf("blif: line %d: multiple .model", lineNo)
+				return fmt.Errorf("blif: line %d: multiple .model", lineNo)
 			}
 			if len(fields) > 1 {
 				name = fields[1]
@@ -98,7 +89,7 @@ func Parse(r io.Reader) (*Model, error) {
 			current = nil
 		case ".latch":
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("blif: line %d: .latch needs input and output", lineNo)
+				return fmt.Errorf("blif: line %d: .latch needs input and output", lineNo)
 			}
 			l := Latch{Input: fields[1], Output: fields[2]}
 			// Optional trailing fields: [type control] [init].
@@ -117,7 +108,7 @@ func Parse(r io.Reader) (*Model, error) {
 			current = nil
 		case ".names":
 			if len(fields) < 2 {
-				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
+				return fmt.Errorf("blif: line %d: .names needs at least an output", lineNo)
 			}
 			c := &cover{
 				output: fields[len(fields)-1],
@@ -127,33 +118,60 @@ func Parse(r io.Reader) (*Model, error) {
 			current = c
 		case ".end":
 			seenEnd = true
+			inExdc = false
 			current = nil
-		case ".exdc", ".wire_load_slope", ".default_input_arrival", ".clock":
+		case ".exdc":
+			inExdc = true
+			current = nil
+		case ".wire_load_slope", ".default_input_arrival", ".clock":
 			// Recognized-but-ignored extensions.
 			current = nil
 		default:
 			if strings.HasPrefix(fields[0], ".") {
-				return nil, fmt.Errorf("blif: line %d: unsupported directive %s", lineNo, fields[0])
+				return fmt.Errorf("blif: line %d: unsupported directive %s", lineNo, fields[0])
 			}
 			if current == nil {
-				return nil, fmt.Errorf("blif: line %d: cover row outside .names", lineNo)
+				return fmt.Errorf("blif: line %d: cover row outside .names", lineNo)
 			}
 			// Cover row: "<pattern> <value>" or just "<value>" for
 			// constant covers.
 			switch len(fields) {
 			case 1:
 				if len(current.inputs) != 0 {
-					return nil, fmt.Errorf("blif: line %d: pattern missing", lineNo)
+					return fmt.Errorf("blif: line %d: pattern missing", lineNo)
 				}
 				current.rows = append(current.rows, coverRow{value: fields[0][0]})
 			case 2:
 				if len(fields[0]) != len(current.inputs) {
-					return nil, fmt.Errorf("blif: line %d: pattern width %d, want %d", lineNo, len(fields[0]), len(current.inputs))
+					return fmt.Errorf("blif: line %d: pattern width %d, want %d", lineNo, len(fields[0]), len(current.inputs))
 				}
 				current.rows = append(current.rows, coverRow{pattern: fields[0], value: fields[1][0]})
 			default:
-				return nil, fmt.Errorf("blif: line %d: malformed cover row", lineNo)
+				return fmt.Errorf("blif: line %d: malformed cover row", lineNo)
 			}
+		}
+		return nil
+	}
+
+	var pending string
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasSuffix(line, "\\") {
+			pending += strings.TrimSuffix(line, "\\") + " "
+			continue
+		}
+		line = pending + line
+		pending = ""
+		if line == "" {
+			continue
+		}
+		if err := process(line); err != nil {
+			return nil, err
 		}
 		if seenEnd {
 			break
@@ -161,6 +179,16 @@ func Parse(r io.Reader) (*Model, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("blif: %w", err)
+	}
+	// A '\' on the file's last line accumulates into pending with no
+	// following line to terminate it; flush the continued content instead
+	// of silently dropping the whole directive.
+	if pending != "" && !seenEnd {
+		if line := strings.TrimSpace(pending); line != "" {
+			if err := process(line); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if name == "" {
 		return nil, fmt.Errorf("blif: no .model found")

@@ -166,6 +166,84 @@ func TestLineContinuation(t *testing.T) {
 	}
 }
 
+func TestTrailingContinuationAtEOF(t *testing.T) {
+	// A '\' continuation on the file's last line used to be dropped
+	// wholesale (pending was never flushed after the scan loop), so the
+	// continued directive silently vanished from the model.
+	m, err := ParseString(".model m\n.inputs a b\n.names a b f\n11 1\n.outputs f \\")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if m.Network.NumOutputs() != 1 {
+		t.Fatalf("continued .outputs at EOF lost: %d outputs, want 1", m.Network.NumOutputs())
+	}
+	if m.Network.OutputByName("f") < 0 {
+		t.Error("output f missing")
+	}
+
+	// A continued cover row at EOF flushes to a malformed row ("11" with
+	// two declared inputs) and must error rather than parse to a
+	// constant-0 cover.
+	if _, err := ParseString(".model m\n.inputs a b\n.outputs f\n.names a b f\n11 \\"); err == nil {
+		t.Error("truncated continued cover row at EOF accepted")
+	}
+}
+
+func TestExdcSectionSkipped(t *testing.T) {
+	// .exdc used to reset only `current`, merging the don't-care
+	// section's .names covers into the main model — here faking a
+	// "signal f defined twice" error.
+	m, err := ParseString(`
+.model m
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.exdc
+.names a f
+1 1
+.end
+`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	// f must be the main model's a·b, not the don't-care cover's a.
+	cases := []struct {
+		a, b, f bool
+	}{
+		{false, false, false}, {true, false, false}, {false, true, false}, {true, true, true},
+	}
+	for _, c := range cases {
+		if got := m.Network.EvalOutputs([]bool{c.a, c.b})[0]; got != c.f {
+			t.Errorf("f(%v,%v) = %v, want %v (exdc cover leaked into model)", c.a, c.b, got, c.f)
+		}
+	}
+}
+
+func TestExdcCoverDoesNotCorruptModel(t *testing.T) {
+	// An .exdc section that redefines an internal signal must not
+	// replace the main model's cover for it.
+	m, err := ParseString(`
+.model m
+.inputs a b
+.outputs f
+.names a b t
+11 1
+.names t f
+1 1
+.exdc
+.names a b t
+-- 1
+.end
+`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if got := m.Network.EvalOutputs([]bool{false, false})[0]; got {
+		t.Error("f(0,0) = true: .exdc tautology cover replaced the model's t")
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	m, err := ParseString(smallBLIF)
 	if err != nil {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package blif_test
+
+const raceEnabled = false

@@ -1,0 +1,182 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBLIF = `.model comb
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+`
+
+const testSeqBLIF = `.model seq
+.inputs x
+.outputs y
+.latch ns q 0
+.names x q ns
+11 1
+.names q y
+1 1
+.end
+`
+
+const testPLA = `.i 2
+.o 1
+.ilb a b
+.ob f
+11 1
+.e
+`
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDiscoverDirectory(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"b.blif":        testBLIF,
+		"a.pla":         testPLA,
+		"sub/c.blif":    testSeqBLIF,
+		"notes.txt":     "ignored",
+		"README.md":     "ignored",
+		"upper/D.BLIF":  testBLIF,
+		"upper/ignored": "no extension",
+	})
+	entries, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range entries {
+		rel, _ := filepath.Rel(dir, e.Path)
+		got = append(got, rel)
+	}
+	want := []string{"a.pla", "b.blif", "sub/c.blif", "upper/D.BLIF"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("Discover = %v, want %v", got, want)
+	}
+	if entries[0].Format != FormatPLA || entries[1].Format != FormatBLIF {
+		t.Errorf("formats wrong: %v %v", entries[0].Format, entries[1].Format)
+	}
+	if entries[3].Name != "D" {
+		t.Errorf("name = %q, want D", entries[3].Name)
+	}
+}
+
+func TestDiscoverGlobAndDedup(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"x.blif": testBLIF,
+		"y.blif": testBLIF,
+	})
+	// Directory + overlapping glob + explicit file must deduplicate.
+	entries, err := Discover(dir, filepath.Join(dir, "*.blif"), filepath.Join(dir, "x.blif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"notes.txt": "x"})
+	if _, err := Discover(filepath.Join(dir, "notes.txt")); err == nil {
+		t.Error("explicit non-circuit file accepted")
+	}
+	if _, err := Discover(filepath.Join(dir, "missing.blif")); err == nil {
+		t.Error("missing path accepted")
+	}
+	if _, err := Discover(filepath.Join(dir, "*.pla")); err == nil {
+		t.Error("matchless glob accepted")
+	}
+}
+
+func TestLoadBLIF(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"and2.blif": testBLIF})
+	entries, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != nil {
+		t.Error("combinational model produced a seq circuit")
+	}
+	if c.Named.Name != "and2" || c.Named.Net.NumInputs() != 2 || c.Named.Net.NumOutputs() != 1 {
+		t.Errorf("loaded %q with %d in / %d out", c.Named.Name, c.Named.Net.NumInputs(), c.Named.Net.NumOutputs())
+	}
+}
+
+func TestLoadLatchedBLIF(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"counter.blif": testSeqBLIF})
+	entries, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq == nil {
+		t.Fatal("latched model did not produce a seq circuit")
+	}
+	if len(c.Seq.FFs) != 1 {
+		t.Errorf("FFs = %d, want 1", len(c.Seq.FFs))
+	}
+	if !strings.Contains(c.Named.Desc, "1 FFs") {
+		t.Errorf("desc = %q", c.Named.Desc)
+	}
+}
+
+func TestLoadPLA(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"and2.pla": testPLA})
+	entries, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Named.Net.Name != "and2" {
+		t.Errorf("network name = %q", c.Named.Net.Name)
+	}
+	outs := c.Named.Net.EvalOutputs([]bool{true, true})
+	if !outs[0] {
+		t.Error("PLA semantics lost: f(1,1) = false")
+	}
+}
+
+func TestLoadParseErrorMentionsPath(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"bad.blif": ".model m\n.banana\n.end"})
+	entries, err := Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(entries[0])
+	if err == nil {
+		t.Fatal("corrupt file parsed")
+	}
+	if !strings.Contains(err.Error(), "bad.blif") {
+		t.Errorf("error %q does not name the file", err)
+	}
+}

@@ -1,0 +1,164 @@
+package flow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/par"
+)
+
+// CorpusRow is one corpus member's outcome. Exactly one of Row, SeqRow,
+// and Err is populated: combinational circuits yield a Table 1/2 Row,
+// latched BLIF models route through the partitioned sequential flow and
+// yield a SeqRow, and a parse or flow failure is isolated into Err
+// without sinking the batch.
+//
+// Everything except WallSec is a pure function of (entry content,
+// configuration): RunCorpus collects rows by entry index on the shared
+// par pool, so a fixed corpus produces bit-identical rows at any worker
+// count — the same contract as the sharded searches.
+type CorpusRow struct {
+	Index  int
+	Name   string
+	Path   string
+	Format string
+	// Sequential reports that the source declared latches and the row
+	// came from the partitioned sequential flow.
+	Sequential bool
+	Row        *Row
+	SeqRow     *SequentialRow
+	Err        string
+	// WallSec is wall-clock and therefore NOT part of the deterministic
+	// row contract. The JSONL serialization lives in
+	// report.CorpusRecord, not here.
+	WallSec float64
+}
+
+// CorpusConfig parameterizes RunCorpus.
+type CorpusConfig struct {
+	// Base is the flow configuration every circuit starts from.
+	Base Config
+	// Timed selects the Table 2 flow (resize to a slack-derived clock
+	// target) instead of the untimed Table 1 flow for combinational
+	// circuits. Latched models always use the sequential flow.
+	Timed bool
+	// Workers bounds how many circuits run concurrently (0 = GOMAXPROCS,
+	// 1 = sequential). Parallelism lives at the circuit grain: callers
+	// normally pin Base.Workers to 1 so concurrent circuits don't
+	// oversubscribe the CPU. Neither knob changes results.
+	Workers int
+	// Timeout caps one circuit's wall-clock (0 = none). A circuit that
+	// exceeds it yields an error row; its goroutine is abandoned (the
+	// flow has no preemption points) but the batch completes. Whether a
+	// given circuit times out depends on machine speed, so determinism
+	// holds only for runs in which no row reports a timeout.
+	Timeout time.Duration
+	// Configure, when non-nil, derives the per-circuit configuration
+	// from the base after parsing — per-circuit overrides for vector
+	// budgets, search strategies, probability engines, and so on.
+	Configure func(c *corpus.Circuit, base Config) Config
+	// OnRow, when non-nil, streams rows in index order as they are
+	// finalized, while later circuits are still running. It is called
+	// from worker goroutines but never concurrently with itself.
+	OnRow func(*CorpusRow)
+}
+
+// RunCorpus parses and runs every entry through the configured flow on
+// the shared worker pool. Per-circuit failures (parse errors, flow
+// errors, panics, timeouts) are isolated into their rows; the returned
+// error is non-nil only when ctx is cancelled.
+func RunCorpus(ctx context.Context, entries []corpus.Entry, cc CorpusConfig) ([]*CorpusRow, error) {
+	rows := make([]*CorpusRow, len(entries))
+	var mu sync.Mutex
+	nextEmit := 0
+	emit := func(i int, row *CorpusRow) {
+		mu.Lock()
+		defer mu.Unlock()
+		rows[i] = row
+		if cc.OnRow == nil {
+			return
+		}
+		for nextEmit < len(rows) && rows[nextEmit] != nil {
+			cc.OnRow(rows[nextEmit])
+			nextEmit++
+		}
+	}
+	err := par.Do(ctx, len(entries), cc.Workers, func(ctx context.Context, i int) error {
+		emit(i, cc.runOne(ctx, i, entries[i]))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// runOne executes one corpus entry end to end, trapping every failure
+// mode into the row.
+func (cc *CorpusConfig) runOne(ctx context.Context, i int, e corpus.Entry) *CorpusRow {
+	row := &CorpusRow{Index: i, Name: e.Name, Path: e.Path, Format: e.Format.String()}
+	start := time.Now()
+	fill := func(row *CorpusRow) {
+		defer func() {
+			if p := recover(); p != nil {
+				row.Err = fmt.Sprintf("panic: %v", p)
+			}
+		}()
+		c, err := corpus.Load(e)
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		cfg := cc.Base
+		if cc.Configure != nil {
+			cfg = cc.Configure(c, cfg)
+		}
+		if c.Seq != nil {
+			row.Sequential = true
+			sr, err := RunSequential(c.Seq, cfg)
+			if err != nil {
+				row.Err = err.Error()
+				return
+			}
+			row.SeqRow = sr
+			return
+		}
+		var r *Row
+		if cc.Timed {
+			r, err = RunCircuitTimed(c.Named, cfg)
+		} else {
+			r, err = RunCircuit(c.Named, cfg)
+		}
+		if err != nil {
+			row.Err = err.Error()
+			return
+		}
+		row.Row = r
+	}
+	if cc.Timeout <= 0 {
+		fill(row)
+		row.WallSec = time.Since(start).Seconds()
+		return row
+	}
+	inner := &CorpusRow{Index: i, Name: e.Name, Path: e.Path, Format: e.Format.String()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fill(inner)
+	}()
+	timer := time.NewTimer(cc.Timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		*row = *inner
+	case <-timer.C:
+		row.Err = fmt.Sprintf("timeout after %v", cc.Timeout)
+	case <-ctx.Done():
+		row.Err = ctx.Err().Error()
+	}
+	row.WallSec = time.Since(start).Seconds()
+	return row
+}

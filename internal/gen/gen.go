@@ -15,6 +15,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/logic"
 	"repro/internal/seq"
@@ -285,6 +286,27 @@ func Wide48() NamedCircuit {
 // WideCircuits returns the beyond-exhaustive twins in width order.
 func WideCircuits() []NamedCircuit {
 	return []NamedCircuit{Wide24(), Wide32(), Wide48()}
+}
+
+// FromNetwork wraps an arbitrary network as a NamedCircuit so external
+// circuits (parsed benchmark files, hand-built networks) flow through
+// the same table machinery as the synthetic twins.
+func FromNetwork(name, desc string, net *logic.Network) NamedCircuit {
+	return NamedCircuit{Name: name, Desc: desc, Net: net}
+}
+
+// KnownCircuits returns every named synthetic twin — the Table 1 set
+// plus the beyond-exhaustive wide set. This is the set genbench can
+// emit to disk and the corpus smoke gate compares file-parsed rows
+// against.
+func KnownCircuits() []NamedCircuit {
+	return append(Table1Circuits(), WideCircuits()...)
+}
+
+// FileName is the twin's on-disk base name (lowercase, spaces removed)
+// — the one genbench emits and the corpus smoke gate matches rows by.
+func (c NamedCircuit) FileName() string {
+	return strings.ReplaceAll(strings.ToLower(c.Name), " ", "")
 }
 
 // Table1Circuits returns the seven benchmarks of Table 1 in the paper's

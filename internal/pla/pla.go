@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/logic"
@@ -54,12 +55,20 @@ func Parse(r io.Reader) (*PLA, error) {
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("pla: line %d: malformed .i", lineNo)
 			}
-			fmt.Sscanf(fields[1], "%d", &p.NumInputs)
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("pla: line %d: malformed .i %q", lineNo, fields[1])
+			}
+			p.NumInputs = n
 		case ".o":
 			if len(fields) != 2 {
 				return nil, fmt.Errorf("pla: line %d: malformed .o", lineNo)
 			}
-			fmt.Sscanf(fields[1], "%d", &p.NumOutputs)
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("pla: line %d: malformed .o %q", lineNo, fields[1])
+			}
+			p.NumOutputs = n
 		case ".p":
 			// Row-count hint; ignored (rows are counted as read).
 		case ".ilb":

@@ -151,3 +151,28 @@ func TestDefaultLabels(t *testing.T) {
 		t.Errorf("default labels: %v %v", p.InputLabels, p.OutputLabels)
 	}
 }
+
+func TestMalformedIODirectives(t *testing.T) {
+	// fmt.Sscanf errors on .i/.o used to be ignored, leaving
+	// NumInputs/NumOutputs at 0 and surfacing later as a misleading
+	// "cube before .i/.o" (or "missing .i/.o") at the wrong line.
+	cases := []struct {
+		name, src, wantAt string
+	}{
+		{"non-numeric .i", ".i abc\n.o 1\n1 1\n.e", "line 1"},
+		{"non-numeric .o", ".i 1\n.o xyz\n1 1\n.e", "line 2"},
+		{"trailing garbage .i", ".i 2x\n.o 1\n11 1\n.e", "line 1"},
+		{"zero .i", ".i 0\n.o 1\n 1\n.e", "line 1"},
+		{"negative .o", ".i 1\n.o -3\n1 1\n.e", "line 2"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error, got none", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantAt) {
+			t.Errorf("%s: error %q does not point at %s", c.name, err, c.wantAt)
+		}
+	}
+}
