@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench conebench searchbench corpussmoke lint fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench searchbench corpussmoke servesmoke loadtest lint docgate fmt benchsuite
 
 all: lint build test
 
@@ -55,12 +55,45 @@ corpussmoke:
 	$(GO) run ./cmd/dominoflow -dir corpus-smoke -vectors 512 -workers 4 -check-twins -jsonl corpus-smoke/rows.jsonl
 	$(GO) run ./cmd/dominoflow -dir corpus-smoke -table 2 -vectors 512 -workers 2 -check-twins
 
-lint:
+# Service smoke: emit the small public twins as BLIF and run the dominod
+# end-to-end harness over real HTTP against them. Gates on the streamed
+# JSONL rows byte-matching a direct flow.RunCorpus run (wall-clock
+# excepted), a repeat submission being served entirely from the
+# content-addressed cache (the flow is not re-entered), one 429 +
+# Retry-After under a full queue, and one graceful drain finishing its
+# in-flight job. Writes the HTTP-streamed rows to serve-smoke/rows.jsonl
+# (uploaded as a CI artifact).
+servesmoke:
+	rm -rf serve-smoke
+	$(GO) run ./cmd/genbench -dir serve-smoke -only apex7,frg1,x1
+	$(GO) run ./cmd/dominod -smoke serve-smoke -smoke-out serve-smoke/rows.jsonl
+
+# Service load test: sustained jobs/min over real HTTP against an
+# in-process dominod, persisted as BENCH_6.json (uploaded as a CI
+# artifact). Exits non-zero if the cached path (identical submissions
+# answered from the content-addressed cache) falls below 1000 jobs/min;
+# also records a cold-path figure (distinct configs, every job runs the
+# flow).
+loadtest:
+	$(GO) run ./cmd/dominod -loadtest -loadtest-out BENCH_6.json
+
+lint: docgate
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# Every package must carry a doc comment ("Package x ..." for libraries,
+# "Command x ..." for binaries) so the godoc surface stays complete.
+docgate:
+	@missing=0; \
+	for d in internal/*/ cmd/*/; do \
+		if ! grep -qE '^// (Package|Command) ' $$d*.go 2>/dev/null; then \
+			echo "docgate: $$d has no package doc comment"; missing=1; \
+		fi; \
+	done; \
+	[ $$missing -eq 0 ] || exit 1
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// loadtestBLIF is the load-test payload: a small combinational circuit
+// so the cold path measures queue + flow overhead at high job rates
+// rather than one giant synthesis. The cached path never runs the flow
+// at all — it measures the HTTP + hash + cache-lookup ceiling.
+const loadtestBLIF = `.model loadtest
+.inputs a b c d
+.outputs f g
+.names a b t
+11 1
+.names t c f
+1- 1
+-1 1
+.names c d g
+10 1
+01 1
+.end
+`
+
+type loadtestOptions struct {
+	jobs    int     // cached-path submissions
+	clients int     // concurrent HTTP clients
+	cold    int     // cold-path submissions (distinct configs)
+	minRate float64 // gate: minimum cached-path jobs/min (0 disables)
+	outPath string
+}
+
+// loadtestReport is the persisted result shape (BENCH_6.json in CI).
+type loadtestReport struct {
+	Payload          string  `json:"payload"`
+	Clients          int     `json:"clients"`
+	CachedJobs       int     `json:"cached_jobs"`
+	CachedWallSec    float64 `json:"cached_wall_sec"`
+	CachedJobsPerMin float64 `json:"cached_jobs_per_min"`
+	ColdJobs         int     `json:"cold_jobs"`
+	ColdWallSec      float64 `json:"cold_wall_sec"`
+	ColdJobsPerMin   float64 `json:"cold_jobs_per_min"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	FlowRuns         int64   `json:"flow_runs"`
+	GateJobsPerMin   float64 `json:"gate_jobs_per_min"`
+}
+
+// runLoadtest stands a server up on a loopback listener and measures
+// sustained jobs/min over real HTTP: first the cached path (identical
+// submissions after one priming run — every job must complete at submit
+// time from the content-addressed cache), then the cold path (distinct
+// SimSeed per job forces a distinct cache key, so every job runs the
+// flow). Fails when the cached path falls below minRate.
+func runLoadtest(o loadtestOptions) error {
+	s := serve.NewServer(serve.Options{
+		QueueDepth:  4 * runtime.NumCPU(),
+		JobWorkers:  runtime.NumCPU(),
+		FlowWorkers: 1, // single tiny circuit per job
+	})
+	s.Start()
+	defer s.Drain()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.clients * 2,
+		MaxIdleConnsPerHost: o.clients * 2,
+	}}
+
+	payload := []byte(loadtestBLIF)
+	cfgJSON := `{"SimVectors":256}`
+
+	// Prime: one cold run fills the cache.
+	st, err := submit(client, base, "loadtest.blif", payload, cfgJSON, http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("prime: %w", err)
+	}
+	if err := waitDone(client, base, st.ID, 2*time.Minute); err != nil {
+		return fmt.Errorf("prime: %w", err)
+	}
+	if st, err = submit(client, base, "loadtest.blif", payload, cfgJSON, http.StatusOK); err != nil {
+		return fmt.Errorf("prime verify: %w", err)
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("prime verify: state %s, want done", st.State)
+	}
+
+	// Cached path: o.jobs identical submissions across o.clients
+	// concurrent clients; every response must be 200/done (no queueing,
+	// no flow).
+	var next atomic.Int64
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(o.jobs) {
+				st, err := submit(client, base, "loadtest.blif", payload, cfgJSON, http.StatusOK)
+				if err != nil || st.State != serve.StateDone {
+					failures.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cachedWall := time.Since(start).Seconds()
+	if n := failures.Load(); n > 0 {
+		return fmt.Errorf("cached path: %d submissions did not complete from cache", n)
+	}
+	cachedPerMin := float64(o.jobs) / cachedWall * 60
+
+	// Cold path: distinct SimSeed per job -> distinct cache key -> the
+	// flow runs every time. Clients retry on 429 (the queue is small by
+	// design), which is exactly what a real producer does.
+	next.Store(0)
+	var coldErr atomic.Value
+	start = time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(o.cold) {
+					return
+				}
+				cfg := fmt.Sprintf(`{"SimVectors":256,"SimSeed":%d}`, i)
+				var st *jobStatusMin
+				for {
+					resp, err := rawSubmit(client, base, "loadtest.blif", payload, cfg)
+					if err != nil {
+						coldErr.Store(err)
+						return
+					}
+					if resp.StatusCode == http.StatusTooManyRequests {
+						resp.Body.Close()
+						time.Sleep(50 * time.Millisecond)
+						continue
+					}
+					var js jobStatusMin
+					err = json.NewDecoder(resp.Body).Decode(&js)
+					resp.Body.Close()
+					if err != nil {
+						coldErr.Store(err)
+						return
+					}
+					st = &js
+					break
+				}
+				if err := waitDone(client, base, st.ID, 2*time.Minute); err != nil {
+					coldErr.Store(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	coldWall := time.Since(start).Seconds()
+	if err, _ := coldErr.Load().(error); err != nil {
+		return fmt.Errorf("cold path: %w", err)
+	}
+	coldPerMin := float64(o.cold) / coldWall * 60
+
+	rep := loadtestReport{
+		Payload:          "loadtest.blif (4 PIs, 2 POs)",
+		Clients:          o.clients,
+		CachedJobs:       o.jobs,
+		CachedWallSec:    cachedWall,
+		CachedJobsPerMin: cachedPerMin,
+		ColdJobs:         o.cold,
+		ColdWallSec:      coldWall,
+		ColdJobsPerMin:   coldPerMin,
+		FlowRuns:         s.FlowRuns(),
+		GateJobsPerMin:   o.minRate,
+	}
+	// Hit rate from the server's own counters: cached jobs hit, prime +
+	// cold jobs missed.
+	hits := float64(o.jobs + 1) // cached jobs + the prime verify
+	misses := float64(1 + o.cold)
+	rep.CacheHitRate = hits / (hits + misses)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if o.outPath != "" {
+		if err := os.WriteFile(o.outPath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	log.Printf("loadtest: cached %.0f jobs/min (%d jobs, %d clients), cold %.0f jobs/min (%d jobs)",
+		cachedPerMin, o.jobs, o.clients, coldPerMin, o.cold)
+	if o.minRate > 0 && cachedPerMin < o.minRate {
+		return fmt.Errorf("sustained cached-path rate %.0f jobs/min below the %.0f gate", cachedPerMin, o.minRate)
+	}
+	return nil
+}

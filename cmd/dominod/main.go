@@ -1,0 +1,123 @@
+// Command dominod is the synthesis-as-a-service daemon: a long-running
+// HTTP front-end over the corpus engine (internal/serve). Clients POST
+// BLIF/PLA files or tar/zip archives plus a JSON flow.Config to
+// /v1/jobs, poll job status, and stream deterministic JSONL result rows;
+// identical submissions are answered from a content-addressed cache
+// without re-running the flow. See docs/api.md for the endpoint
+// reference.
+//
+// Besides the daemon mode it bundles two self-driving harnesses:
+//
+//	dominod -smoke DIR       end-to-end service smoke over real HTTP
+//	                         (the CI servesmoke gate): submits DIR's
+//	                         circuits as an archive, byte-compares the
+//	                         streamed rows against a direct
+//	                         flow.RunCorpus run, proves a repeat
+//	                         submission is served from cache, and
+//	                         exercises 429 backpressure and a graceful
+//	                         drain.
+//	dominod -loadtest        sustained-throughput harness: measures
+//	                         cached-path and cold-path jobs/min against
+//	                         a live server and fails below -loadtest-min.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dominod: ")
+
+	addr := flag.String("addr", ":8157", "listen address")
+	queue := flag.Int("queue", 64, "bounded job queue depth; submissions beyond it get 429 + Retry-After")
+	jobWorkers := flag.Int("job-workers", 1, "concurrent jobs (parallelism within a job is -flow-workers)")
+	flowWorkers := flag.Int("flow-workers", 0, "circuits run concurrently per job (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-circuit wall-clock cap (0 = none); timed-out rows are never cached")
+	cacheEntries := flag.Int("cache", 4096, "content-addressed result cache entries (negative disables)")
+	maxUpload := flag.Int64("max-upload", 64<<20, "submission body size cap in bytes")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "HTTP shutdown grace after the job queue drains")
+
+	smokeDir := flag.String("smoke", "", "run the service smoke harness over the circuits in this directory, then exit")
+	smokeOut := flag.String("smoke-out", "", "smoke: write the HTTP-streamed JSONL rows to this file")
+	smokeVectors := flag.Int("smoke-vectors", 512, "smoke: Monte-Carlo vectors per measurement")
+
+	loadtest := flag.Bool("loadtest", false, "run the load-test harness against an in-process server, then exit")
+	ltOut := flag.String("loadtest-out", "", "loadtest: write the JSON report to this file")
+	ltJobs := flag.Int("loadtest-jobs", 3000, "loadtest: cached-path submissions")
+	ltClients := flag.Int("loadtest-clients", 8, "loadtest: concurrent HTTP clients")
+	ltCold := flag.Int("loadtest-cold", 24, "loadtest: cold-path submissions (distinct configs)")
+	ltMin := flag.Float64("loadtest-min", 1000, "loadtest: minimum sustained cached-path jobs/min (0 disables the gate)")
+	flag.Parse()
+
+	opts := serve.Options{
+		QueueDepth:     *queue,
+		JobWorkers:     *jobWorkers,
+		FlowWorkers:    *flowWorkers,
+		CircuitTimeout: *timeout,
+		CacheEntries:   *cacheEntries,
+		MaxUploadBytes: *maxUpload,
+		RetryAfter:     *retryAfter,
+	}
+
+	switch {
+	case *smokeDir != "":
+		if err := runSmoke(*smokeDir, *smokeOut, *smokeVectors, opts); err != nil {
+			log.Fatalf("smoke: FAIL: %v", err)
+		}
+		log.Print("smoke: PASS")
+	case *loadtest:
+		if err := runLoadtest(loadtestOptions{
+			jobs:    *ltJobs,
+			clients: *ltClients,
+			cold:    *ltCold,
+			minRate: *ltMin,
+			outPath: *ltOut,
+		}); err != nil {
+			log.Fatalf("loadtest: FAIL: %v", err)
+		}
+	default:
+		runDaemon(*addr, opts, *drainTimeout)
+	}
+}
+
+// runDaemon serves until SIGTERM/SIGINT, then drains gracefully: stop
+// accepting (503 / readyz not-ready), finish every queued and running
+// job, and only then shut the HTTP server down so the final row streams
+// complete.
+func runDaemon(addr string, opts serve.Options, drainTimeout time.Duration) {
+	s := serve.NewServer(opts)
+	s.Start()
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (queue %d, job workers %d)", addr, opts.QueueDepth, opts.JobWorkers)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("%v: draining (finishing queued and running jobs, rejecting new ones)", got)
+		s.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Print("drained, exiting")
+	}
+}

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/flow"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// runSmoke is the CI service gate (make servesmoke). Against a real
+// HTTP listener it checks, in order:
+//
+//  1. an archive of DIR's circuits submitted over HTTP streams JSONL
+//     rows that byte-match a direct flow.RunCorpus run on the same
+//     files (wall_seconds — documented as non-deterministic — is the
+//     only field excluded, by copying it before comparing);
+//  2. resubmitting the identical archive completes at submit time from
+//     the content-addressed cache, without re-entering the flow;
+//  3. overfilling the 1-deep queue draws a 429 with a Retry-After hint;
+//  4. a graceful drain finishes the in-flight job, rejects new
+//     submissions with 503, and flips /readyz to not-ready.
+func runSmoke(dir, outPath string, vectors int, opts serve.Options) error {
+	entries, err := corpus.Discover(dir)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no circuits in %s", dir)
+	}
+
+	// A 1-deep queue and one job worker make backpressure exercisable.
+	opts.QueueDepth = 1
+	opts.JobWorkers = 1
+	if opts.FlowWorkers == 0 {
+		opts.FlowWorkers = 4
+	}
+	s := serve.NewServer(opts)
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	cfg := flow.Config{SimVectors: vectors}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+
+	archive, err := tarArchive(entries)
+	if err != nil {
+		return err
+	}
+
+	// 1. Submit the archive and stream rows while the job runs.
+	st, err := submit(client, base, "smoke.tar", archive, string(cfgJSON), http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("submit archive: %w", err)
+	}
+	lines, err := streamRows(client, base, st.ID)
+	if err != nil {
+		return err
+	}
+	if len(lines) != len(entries) {
+		return fmt.Errorf("streamed %d rows, want %d", len(lines), len(entries))
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, bytes.Join(lines, nil), 0o644); err != nil {
+			return err
+		}
+	}
+	log.Printf("smoke: streamed %d rows over HTTP", len(lines))
+
+	// Direct run on the same files for the byte-match.
+	direct, err := flow.RunCorpus(context.Background(), entries, flow.CorpusConfig{
+		Base:    withOneWorker(cfg),
+		Workers: opts.FlowWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	for i, row := range direct {
+		var got report.CorpusRecord
+		if err := json.Unmarshal(lines[i], &got); err != nil {
+			return fmt.Errorf("row %d: bad JSONL: %w", i, err)
+		}
+		want := report.NewCorpusRecord(row)
+		// The served row's path is the submitted archive-relative name;
+		// normalize the direct row the same way. wall_seconds is the
+		// schema's one non-deterministic field — copy it across so the
+		// rest of the line must match byte for byte.
+		want.Path = filepath.Base(want.Path)
+		want.WallSec = got.WallSec
+		wb, err := json.Marshal(want)
+		if err != nil {
+			return err
+		}
+		gb, err := json.Marshal(got)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(wb, gb) {
+			return fmt.Errorf("row %d mismatch:\n  http:   %s\n  direct: %s", i, gb, wb)
+		}
+	}
+	log.Printf("smoke: %d HTTP rows byte-match the direct flow.RunCorpus rows", len(direct))
+
+	// 2. The identical resubmission must be served entirely from cache:
+	// it completes at submit time and the flow is not re-entered.
+	runsBefore := s.FlowRuns()
+	st2, err := submit(client, base, "smoke.tar", archive, string(cfgJSON), http.StatusOK)
+	if err != nil {
+		return fmt.Errorf("cached resubmit: %w", err)
+	}
+	if st2.State != serve.StateDone || st2.CacheHits != len(entries) {
+		return fmt.Errorf("cached resubmit: state %s with %d hits, want done with %d", st2.State, st2.CacheHits, len(entries))
+	}
+	if runs := s.FlowRuns(); runs != runsBefore {
+		return fmt.Errorf("cached resubmit re-entered the flow (%d -> %d runs)", runsBefore, runs)
+	}
+	lines2, err := streamRows(client, base, st2.ID)
+	if err != nil {
+		return err
+	}
+	if err := sameRowsModuloWall(lines, lines2); err != nil {
+		return fmt.Errorf("cached rows: %w", err)
+	}
+	log.Print("smoke: identical resubmission served from cache without re-entering the flow")
+
+	// 3. Backpressure: distinct configs force cold jobs; with a busy
+	// worker and a 1-deep queue the third submission must draw a 429.
+	coldCfg := func(seed int64) string {
+		c := cfg
+		c.SimSeed = seed
+		b, _ := json.Marshal(c)
+		return string(b)
+	}
+	single, err := os.ReadFile(entries[0].Path)
+	if err != nil {
+		return err
+	}
+	singleName := filepath.Base(entries[0].Path)
+	var accepted []string
+	saw429 := false
+	for i := 0; i < 4 && !saw429; i++ {
+		resp, err := rawSubmit(client, base, singleName, single, coldCfg(int64(1000+i)))
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var js jobStatusMin
+			if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+				resp.Body.Close()
+				return err
+			}
+			accepted = append(accepted, js.ID)
+		case http.StatusTooManyRequests:
+			if resp.Header.Get("Retry-After") == "" {
+				resp.Body.Close()
+				return fmt.Errorf("429 without Retry-After")
+			}
+			saw429 = true
+		default:
+			resp.Body.Close()
+			return fmt.Errorf("backpressure submit %d: unexpected status %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		return fmt.Errorf("no 429 after overfilling the 1-deep queue")
+	}
+	log.Printf("smoke: 429 + Retry-After after %d accepted cold jobs", len(accepted))
+	for _, id := range accepted {
+		if err := waitDone(client, base, id, 5*time.Minute); err != nil {
+			return err
+		}
+	}
+
+	// 4. Graceful drain: one more in-flight job, then drain — it must
+	// finish while new submissions bounce with 503.
+	st3, err := submit(client, base, singleName, single, coldCfg(2000), http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("drain-phase submit: %w", err)
+	}
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	if err := waitNotReady(client, base, 10*time.Second); err != nil {
+		return err
+	}
+	resp, err := rawSubmit(client, base, singleName, single, coldCfg(2001))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("submission during drain: status %d, want 503", resp.StatusCode)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Minute):
+		return fmt.Errorf("drain did not complete")
+	}
+	if err := waitDone(client, base, st3.ID, time.Minute); err != nil {
+		return fmt.Errorf("in-flight job after drain: %w", err)
+	}
+	log.Print("smoke: graceful drain finished the in-flight job and rejected new submissions with 503")
+	return nil
+}
+
+func withOneWorker(cfg flow.Config) flow.Config {
+	cfg.Workers = 1
+	return cfg
+}
+
+// tarArchive packs the discovered files (by base name) into a tar.
+func tarArchive(entries []corpus.Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, e := range entries {
+		data, err := os.ReadFile(e.Path)
+		if err != nil {
+			return nil, err
+		}
+		if err := tw.WriteHeader(&tar.Header{
+			Name: filepath.Base(e.Path),
+			Mode: 0o644,
+			Size: int64(len(data)),
+		}); err != nil {
+			return nil, err
+		}
+		if _, err := tw.Write(data); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// jobStatusMin mirrors the status fields the harnesses consume.
+type jobStatusMin struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	CacheHits int    `json:"cache_hits"`
+	Failed    int    `json:"failed"`
+}
+
+func rawSubmit(client *http.Client, base, name string, data []byte, cfgJSON string) (*http.Response, error) {
+	req, err := http.NewRequest("POST", base+"/v1/jobs?name="+name, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if cfgJSON != "" {
+		req.Header.Set("X-Dominod-Config", cfgJSON)
+	}
+	return client.Do(req)
+}
+
+func submit(client *http.Client, base, name string, data []byte, cfgJSON string, wantStatus int) (*jobStatusMin, error) {
+	resp, err := rawSubmit(client, base, name, data, cfgJSON)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		return nil, fmt.Errorf("status %d (want %d): %s", resp.StatusCode, wantStatus, strings.TrimSpace(string(body)))
+	}
+	var st jobStatusMin
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// streamRows reads the whole JSONL stream (it blocks until the job
+// completes — the handler holds the connection open).
+func streamRows(client *http.Client, base, id string) ([][]byte, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/rows")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rows: status %d", resp.StatusCode)
+	}
+	if v := resp.Header.Get("X-Dominod-Schema-Version"); v != fmt.Sprint(report.CorpusSchemaVersion) {
+		return nil, fmt.Errorf("rows: schema version header %q, want %d", v, report.CorpusSchemaVersion)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	var lines [][]byte
+	for _, l := range bytes.SplitAfter(body, []byte("\n")) {
+		if len(bytes.TrimSpace(l)) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}
+
+// sameRowsModuloWall demands two row sets be byte-identical after
+// copying the (non-deterministic) wall_seconds field across.
+func sameRowsModuloWall(a, b [][]byte) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		var ra, rb report.CorpusRecord
+		if err := json.Unmarshal(a[i], &ra); err != nil {
+			return err
+		}
+		if err := json.Unmarshal(b[i], &rb); err != nil {
+			return err
+		}
+		rb.WallSec = ra.WallSec
+		ba, err := json.Marshal(ra)
+		if err != nil {
+			return err
+		}
+		bb, err := json.Marshal(rb)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(ba, bb) {
+			return fmt.Errorf("row %d mismatch:\n  first:  %s\n  second: %s", i, ba, bb)
+		}
+	}
+	return nil
+}
+
+func waitDone(client *http.Client, base, id string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var st jobStatusMin
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if st.State == serve.StateDone {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s not done within %v (state %s)", id, limit, st.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func waitNotReady(client *http.Client, base string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("readyz still ready %v after drain started", limit)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

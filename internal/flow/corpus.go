@@ -31,6 +31,12 @@ type CorpusRow struct {
 	Row        *Row
 	SeqRow     *SequentialRow
 	Err        string
+	// TimedOut marks rows whose error came from the per-circuit Timeout
+	// or from caller cancellation rather than from the circuit itself.
+	// Such rows depend on machine speed — they are the documented
+	// exception to the deterministic row contract — so result caches
+	// (internal/serve) must never store them.
+	TimedOut bool
 	// WallSec is wall-clock and therefore NOT part of the deterministic
 	// row contract. The JSONL serialization lives in
 	// report.CorpusRecord, not here.
@@ -156,8 +162,10 @@ func (cc *CorpusConfig) runOne(ctx context.Context, i int, e corpus.Entry) *Corp
 		*row = *inner
 	case <-timer.C:
 		row.Err = fmt.Sprintf("timeout after %v", cc.Timeout)
+		row.TimedOut = true
 	case <-ctx.Done():
 		row.Err = ctx.Err().Error()
+		row.TimedOut = true
 	}
 	row.WallSec = time.Since(start).Seconds()
 	return row

@@ -130,6 +130,37 @@ func (c *Config) defaults() {
 	}
 }
 
+// Canonical returns the configuration's content-addressing form: every
+// defaulted field is filled with its default (so the zero value and an
+// explicitly spelled-out default hash identically) and the pure
+// wall-clock knobs — Workers and SimKernel, which by contract never
+// change any result — are zeroed. Two configurations with equal
+// Canonical() forms produce bit-identical flow rows for the same input;
+// the converse is deliberately conservative (two configs that happen to
+// behave identically may still canonicalize differently — a cache miss,
+// never a wrong answer). internal/serve hashes the canonical form's
+// JSON together with the submitted file bytes to content-address cached
+// corpus rows.
+func (c Config) Canonical() Config {
+	c.defaults()
+	// Deeper zero-value defaults applied by the engines themselves
+	// (power.Options, phase.SearchOptions) are mirrored here so
+	// zero-vs-default spellings of those knobs also key identically.
+	if c.EstOpts.Depth == 0 {
+		c.EstOpts.Depth = 4
+	}
+	if c.EstOpts.MaxFrontier == 0 {
+		c.EstOpts.MaxFrontier = 16
+	}
+	if c.SearchRestarts == 0 {
+		c.SearchRestarts = 3
+	}
+	// Pure wall-clock knobs: no result anywhere depends on them.
+	c.Workers = 0
+	c.SimKernel = 0
+	return c
+}
+
 // Synthesis is one synthesized implementation (MA or MP) with its
 // measurements.
 type Synthesis struct {

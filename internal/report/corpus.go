@@ -65,6 +65,18 @@ func CorpusTable(title string, rows []*flow.CorpusRow) string {
 	return b.String()
 }
 
+// CorpusSchemaVersion identifies the CorpusRecord JSONL schema. Version
+// history:
+//
+//	1 — PR 5: the original corpus record.
+//	2 — adds timed_out (present only on rows whose error came from the
+//	    per-circuit timeout or from cancellation — the documented
+//	    non-deterministic rows, which internal/serve never caches).
+//
+// dominod reports the version in the X-Dominod-Schema-Version response
+// header of its row streams; README.md documents the field list.
+const CorpusSchemaVersion = 2
+
 // CorpusRecord is the flat JSONL projection of one corpus row — one
 // line per circuit, streamed while the batch runs. Size/power fields
 // come from the Table 1/2 flow for combinational circuits and from the
@@ -74,7 +86,8 @@ func CorpusTable(title string, rows []*flow.CorpusRow) string {
 // measurement fields read zero. met_timing is present only on
 // combinational rows (the sequential flow has no timing target).
 // wall_seconds is wall-clock and not part of the deterministic row
-// contract.
+// contract; timed_out marks the rows whose *error* is equally
+// non-deterministic.
 type CorpusRecord struct {
 	Index          int     `json:"index"`
 	Name           string  `json:"name"`
@@ -82,6 +95,7 @@ type CorpusRecord struct {
 	Format         string  `json:"format"`
 	Sequential     bool    `json:"sequential"`
 	Error          string  `json:"error,omitempty"`
+	TimedOut       bool    `json:"timed_out,omitempty"`
 	PIs            int     `json:"pis"`
 	POs            int     `json:"pos"`
 	FFs            int     `json:"ffs"`
@@ -108,6 +122,7 @@ func NewCorpusRecord(r *flow.CorpusRow) CorpusRecord {
 		Format:     r.Format,
 		Sequential: r.Sequential,
 		Error:      r.Err,
+		TimedOut:   r.TimedOut,
 		WallSec:    r.WallSec,
 	}
 	switch {

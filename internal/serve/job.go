@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"archive/tar"
+	"archive/zip"
+	"bytes"
+	"compress/gzip"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/flow"
+	"repro/internal/report"
+)
+
+// Job states, in lifecycle order. A job is "done" once every circuit has
+// a row; per-circuit failures are isolated into their rows (the corpus
+// contract), so there is no job-level failed state — a malformed
+// submission is rejected with 4xx before a job exists.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// jobCircuit is one submitted circuit: its bytes, its submitted
+// (archive-relative) path, and its content-addressed cache key.
+type jobCircuit struct {
+	relPath string // submitted name; becomes the row's path field
+	name    string // base name without extension; becomes the row's name
+	format  corpus.Format
+	data    []byte
+	key     [32]byte
+	cached  *cachedResult // non-nil when resolved from the cache at submit
+}
+
+// job is one submission's lifecycle: circuits in deterministic
+// (path-sorted) order, rows accumulating as a contiguous prefix of
+// serialized JSONL lines, and a broadcast channel for streamers.
+type job struct {
+	id        string
+	timed     bool
+	cfg       flow.Config
+	cfgJSON   []byte // canonical config encoding (cache-key input)
+	circuits  []jobCircuit
+	submitted time.Time
+
+	mu        sync.Mutex
+	state     string
+	slots     []*flow.CorpusRow // filled out of order by cache hits + OnRow
+	lines     [][]byte          // serialized rows, always a contiguous prefix
+	next      int               // emission frontier into slots
+	failed    int
+	cacheHits int
+	wallSec   float64
+	notify    chan struct{} // closed and replaced on every append / state change
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("serve: job id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func newJob(circuits []jobCircuit, cfg flow.Config, cfgJSON []byte, timed bool) *job {
+	return &job{
+		id:        newJobID(),
+		timed:     timed,
+		cfg:       cfg,
+		cfgJSON:   cfgJSON,
+		circuits:  circuits,
+		submitted: time.Now(),
+		state:     StateQueued,
+		slots:     make([]*flow.CorpusRow, len(circuits)),
+		notify:    make(chan struct{}),
+	}
+}
+
+// broadcast wakes every waiting streamer. Callers hold j.mu.
+func (j *job) broadcast() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	j.broadcast()
+}
+
+// fill records circuit i's finished row and emits every newly contiguous
+// row as a JSONL line — the same frontier discipline flow.RunCorpus uses
+// for OnRow, extended here so cache hits (filled at submit) and flow
+// rows (filled as they complete) interleave back into index order.
+func (j *job) fill(i int, row *flow.CorpusRow) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.slots[i] = row
+	for j.next < len(j.slots) && j.slots[j.next] != nil {
+		r := j.slots[j.next]
+		line, err := json.Marshal(report.NewCorpusRecord(r))
+		if err != nil { // cannot happen for CorpusRecord; keep the frontier moving
+			line = []byte(fmt.Sprintf(`{"index":%d,"error":%q}`, r.Index, err.Error()))
+		}
+		j.lines = append(j.lines, append(line, '\n'))
+		if r.Err != "" {
+			j.failed++
+		}
+		j.next++
+	}
+	j.broadcast()
+}
+
+// finish marks the job done. All slots must already be filled.
+func (j *job) finish() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.wallSec = time.Since(j.submitted).Seconds()
+	j.broadcast()
+}
+
+// status is the GET /v1/jobs/{id} projection.
+type jobStatus struct {
+	ID         string  `json:"id"`
+	State      string  `json:"state"`
+	Timed      bool    `json:"timed"`
+	Circuits   int     `json:"circuits"`
+	Completed  int     `json:"completed"`
+	Failed     int     `json:"failed"`
+	CacheHits  int     `json:"cache_hits"`
+	Submitted  string  `json:"submitted_at"`
+	WallSec    float64 `json:"wall_seconds,omitempty"`
+	RowsURL    string  `json:"rows_url"`
+	SchemaVers int     `json:"schema_version"`
+}
+
+func (j *job) status() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID:         j.id,
+		State:      j.state,
+		Timed:      j.timed,
+		Circuits:   len(j.circuits),
+		Completed:  j.next,
+		Failed:     j.failed,
+		CacheHits:  j.cacheHits,
+		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
+		WallSec:    j.wallSec,
+		RowsURL:    "/v1/jobs/" + j.id + "/rows",
+		SchemaVers: report.CorpusSchemaVersion,
+	}
+}
+
+// cachedCorpusRow reattaches submission metadata to a cached result.
+func cachedCorpusRow(index int, c jobCircuit, hit *cachedResult) *flow.CorpusRow {
+	return &flow.CorpusRow{
+		Index:      index,
+		Name:       c.name,
+		Path:       c.relPath,
+		Format:     hit.format,
+		Sequential: hit.sequential,
+		Row:        hit.row,
+		SeqRow:     hit.seqRow,
+		Err:        hit.errText,
+		// WallSec ~0: a cache hit does no flow work. Wall-clock is
+		// outside the deterministic row contract either way.
+	}
+}
+
+// submitError carries an HTTP status through the parsing helpers.
+type submitError struct {
+	status int
+	msg    string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *submitError {
+	return &submitError{status: 400, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseConfig strictly decodes a JSON flow.Config (unknown fields are
+// rejected so typos fail loudly instead of silently running defaults).
+// An empty body means the zero config — all defaults.
+func parseConfig(raw []byte) (flow.Config, error) {
+	var cfg flow.Config
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return cfg, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, badRequest("bad config JSON: %v", err)
+	}
+	return cfg, nil
+}
+
+// expandSubmission turns an uploaded body into its circuit list. The
+// file name decides the container: .tar, .tar.gz/.tgz, and .zip are
+// expanded (members that are not .blif/.pla are skipped, like
+// corpus.Discover); anything else must itself be a .blif/.pla circuit.
+// Circuits are sorted by archive-relative path — the job's deterministic
+// row order, mirroring the corpus engine's path-sorted discovery.
+func expandSubmission(name string, data []byte) ([]jobCircuit, error) {
+	var circuits []jobCircuit
+	lower := strings.ToLower(name)
+	switch {
+	case strings.HasSuffix(lower, ".tar"), strings.HasSuffix(lower, ".tar.gz"), strings.HasSuffix(lower, ".tgz"):
+		var r io.Reader = bytes.NewReader(data)
+		if !strings.HasSuffix(lower, ".tar") {
+			gz, err := gzip.NewReader(r)
+			if err != nil {
+				return nil, badRequest("bad gzip stream: %v", err)
+			}
+			defer gz.Close()
+			r = gz
+		}
+		tr := tar.NewReader(r)
+		for {
+			hdr, err := tr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, badRequest("bad tar archive: %v", err)
+			}
+			if hdr.Typeflag != tar.TypeReg {
+				continue
+			}
+			member, err := io.ReadAll(tr)
+			if err != nil {
+				return nil, badRequest("bad tar archive: %v", err)
+			}
+			c, ok, err := memberCircuit(hdr.Name, member)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				circuits = append(circuits, c)
+			}
+		}
+	case strings.HasSuffix(lower, ".zip"):
+		zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, badRequest("bad zip archive: %v", err)
+		}
+		for _, zf := range zr.File {
+			if zf.FileInfo().IsDir() {
+				continue
+			}
+			rc, err := zf.Open()
+			if err != nil {
+				return nil, badRequest("bad zip member %s: %v", zf.Name, err)
+			}
+			member, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				return nil, badRequest("bad zip member %s: %v", zf.Name, err)
+			}
+			c, ok, err := memberCircuit(zf.Name, member)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				circuits = append(circuits, c)
+			}
+		}
+	default:
+		c, ok, err := memberCircuit(name, data)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, badRequest("%s: unrecognized extension (want .blif, .pla, .tar, .tar.gz, .tgz, or .zip)", name)
+		}
+		circuits = append(circuits, c)
+	}
+	if len(circuits) == 0 {
+		return nil, badRequest("submission contains no .blif/.pla circuits")
+	}
+	sort.Slice(circuits, func(i, k int) bool { return circuits[i].relPath < circuits[k].relPath })
+	for i := 1; i < len(circuits); i++ {
+		if circuits[i].relPath == circuits[i-1].relPath {
+			return nil, badRequest("duplicate circuit path %s in submission", circuits[i].relPath)
+		}
+	}
+	return circuits, nil
+}
+
+// memberCircuit classifies one file: (circuit, true) for .blif/.pla,
+// (zero, false) for other extensions, error for unusable paths. Paths
+// are normalized and must stay local — the spool directory is the
+// containment boundary.
+func memberCircuit(name string, data []byte) (jobCircuit, bool, error) {
+	rel := path.Clean(strings.ReplaceAll(name, "\\", "/"))
+	f, ok := corpus.FormatOf(rel)
+	if !ok {
+		return jobCircuit{}, false, nil
+	}
+	if rel == "" || rel == "." || path.IsAbs(rel) || !filepath.IsLocal(filepath.FromSlash(rel)) {
+		return jobCircuit{}, false, badRequest("unusable circuit path %q", name)
+	}
+	base := path.Base(rel)
+	return jobCircuit{
+		relPath: rel,
+		name:    strings.TrimSuffix(base, path.Ext(base)),
+		format:  f,
+		data:    data,
+	}, true, nil
+}

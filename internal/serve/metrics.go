@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's counter set, exposed in Prometheus text
+// exposition format on GET /metrics. Everything is a plain atomic — no
+// client-library dependency.
+type metrics struct {
+	jobsSubmitted    atomic.Int64 // accepted submissions (includes fully cached)
+	jobsCompleted    atomic.Int64 // jobs that reached the done state
+	jobsFailedRows   atomic.Int64 // completed jobs with >= 1 error row
+	jobsRunning      atomic.Int64 // gauge
+	rejectedBusy     atomic.Int64 // 429: queue full
+	rejectedDraining atomic.Int64 // 503: drain in progress
+	rowsTotal        atomic.Int64 // rows emitted (cache hits included)
+	rowsFailed       atomic.Int64 // rows with a non-empty error
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	flowRuns         atomic.Int64 // times the flow was actually entered (RunCorpus calls)
+}
+
+// write renders the counter set. queued/cacheLen/draining/uptime are
+// snapshots the server computes at scrape time.
+func (m *metrics) write(w io.Writer, queued, cacheLen int, draining bool, uptime time.Duration) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("dominod_jobs_submitted_total", "accepted job submissions", m.jobsSubmitted.Load())
+	counter("dominod_jobs_completed_total", "jobs that reached the done state", m.jobsCompleted.Load())
+	counter("dominod_jobs_with_failed_rows_total", "completed jobs containing at least one error row", m.jobsFailedRows.Load())
+	counter("dominod_jobs_rejected_busy_total", "submissions rejected 429 (queue full)", m.rejectedBusy.Load())
+	counter("dominod_jobs_rejected_draining_total", "submissions rejected 503 (draining)", m.rejectedDraining.Load())
+	gauge("dominod_jobs_queued", "jobs waiting in the bounded queue", float64(queued))
+	gauge("dominod_jobs_running", "jobs currently executing", float64(m.jobsRunning.Load()))
+	rows := m.rowsTotal.Load()
+	counter("dominod_rows_total", "result rows emitted (cache hits included)", rows)
+	counter("dominod_rows_failed_total", "result rows carrying an error", m.rowsFailed.Load())
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	counter("dominod_cache_hits_total", "circuits served from the content-addressed cache", hits)
+	counter("dominod_cache_misses_total", "circuits that had to run the flow", misses)
+	gauge("dominod_cache_entries", "resident cache entries", float64(cacheLen))
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	gauge("dominod_cache_hit_rate", "cache hits / (hits + misses) since start", rate)
+	counter("dominod_flow_runs_total", "times flow.RunCorpus was entered", m.flowRuns.Load())
+	secs := uptime.Seconds()
+	gauge("dominod_uptime_seconds", "seconds since the daemon started", secs)
+	rps := 0.0
+	if secs > 0 {
+		rps = float64(rows) / secs
+	}
+	gauge("dominod_rows_per_second", "rows emitted per second of uptime", rps)
+	d := 0.0
+	if draining {
+		d = 1
+	}
+	gauge("dominod_draining", "1 while a graceful drain is in progress", d)
+}
