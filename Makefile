@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench conebench searchbench corpussmoke servesmoke loadtest lint docgate fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench searchbench satbench corpussmoke servesmoke loadtest lint docgate fmt benchsuite
 
 all: lint build test
 
@@ -42,6 +42,17 @@ conebench:
 # or if annealing fails to strictly beat the MinPower heuristic at k=32.
 searchbench:
 	$(GO) run ./cmd/benchsuite -search-bench-out BENCH_4.json
+
+# Saturation benchmark: the wide vs blocked simulation kernels across
+# block sizes and worker counts on the x1/wide32 twins plus a
+# low-activity twin, persisted as BENCH_7.json (uploaded as a CI
+# artifact). Exits non-zero if the blocked kernel's Reports diverge
+# from the scalar oracle anywhere in the (Seed, Shards, Workers)
+# matrix, if the blocked kernel falls below 3x the wide kernel's
+# throughput on x1, or if activity gating skips no more than half the
+# gate evaluations on the low-activity twin.
+satbench:
+	$(GO) run ./cmd/benchsuite -satbench-out BENCH_7.json
 
 # Corpus smoke: emit the small public twins as BLIF, stream the
 # directory through the concurrent corpus engine (untimed and timed

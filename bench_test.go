@@ -618,17 +618,19 @@ func simKernelBlock(b *testing.B) (*domino.Block, []float64) {
 	return blk, prob.Uniform(net, 0.5)
 }
 
-// BenchmarkSimWideVsScalar compares the 64-lane bit-parallel kernel
-// against the scalar reference oracle on a benchsuite twin. The two
-// produce byte-identical Reports (TestWideMatchesScalarKernel); the ratio
-// of their ns/op is the ISSUE 2 throughput gate.
+// BenchmarkSimWideVsScalar compares the bit-parallel kernels against
+// the scalar reference oracle on a benchsuite twin. All three produce
+// byte-identical Reports (TestWideMatchesScalarKernel,
+// TestBlockedMatchesScalarAndWideKernels); the wide/scalar ns/op ratio
+// is the ISSUE 2 throughput gate and the blocked/wide ratio previews
+// the ISSUE 7 saturation gate.
 func BenchmarkSimWideVsScalar(b *testing.B) {
 	b.ReportAllocs()
 	blk, probs := simKernelBlock(b)
 	for _, k := range []struct {
 		name   string
 		kernel sim.Kernel
-	}{{"scalar", sim.KernelScalar}, {"wide", sim.KernelWide}} {
+	}{{"scalar", sim.KernelScalar}, {"wide", sim.KernelWide}, {"blocked", sim.KernelBlocked}} {
 		k := k
 		b.Run(k.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -28,6 +28,16 @@
 // annealing strictly beating the MinPower heuristic at k = 32 and on
 // branch-and-bound's k = 24 exactness). Writes PATH (BENCH_4.json in
 // CI).
+//
+// With -satbench-out PATH it runs the ISSUE 7 saturation benchmark:
+// the wide and blocked simulation kernels across block sizes and
+// worker counts on the x1/wide32 twins plus a low-activity twin, with
+// byte-equality checks against the scalar oracle, vectors/sec/core
+// throughput, and gating skip rates. Writes PATH (BENCH_7.json in CI);
+// fails below 3x blocked-over-wide on x1 or a 0.5 low-activity skip
+// rate.
+//
+// -cpuprofile / -memprofile write pprof profiles of any mode.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -121,9 +132,40 @@ func main() {
 	benchOut := flag.String("bench-out", "", "kernel-benchmark mode: measure the scalar vs bit-parallel sim kernels and the BDD engine, write the JSON record to this path (e.g. BENCH_2.json), and exit without sweeping")
 	coneBenchOut := flag.String("cone-bench-out", "", "cone-table benchmark mode: measure the cached-cone exhaustive phase search against the naive per-mask Apply+Estimate path on the synth12 twin, verify both agree and that the winner is worker-invariant, write the JSON record to this path (e.g. BENCH_3.json), and exit without sweeping")
 	searchBenchOut := flag.String("search-bench-out", "", "search-strategy benchmark mode: measure per-candidate full rescore vs incremental gray-code Flip on the synth12 twin (>=10x gate), verify gray/branch-and-bound winner agreement with the reference scan across worker counts, run the beyond-exhaustive strategies on the wide twins (annealing must strictly beat the MinPower heuristic at k=32), write the JSON record to this path (e.g. BENCH_4.json), and exit without sweeping")
+	satBenchOut := flag.String("satbench-out", "", "saturation benchmark mode: sweep the wide and blocked simulation kernels across block sizes and worker counts on the x1/wide32 twins plus a low-activity twin, verify byte-identical Reports against the scalar oracle, write the JSON record to this path (e.g. BENCH_7.json), and exit without sweeping; fails below a 3x blocked-over-wide speedup on x1 or a 0.5 gating skip rate on the low-activity twin")
 	corpusPaths := flag.String("corpus", "", "corpus mode: sweep the .blif/.pla files under these comma-separated directories/globs/files instead of the generated twins")
 	strategiesFlag := flag.String("strategies", "", "corpus mode: comma-separated MinPower search strategies to sweep (auto, exhaustive, bb, anneal, greedy); empty = the paper's pairwise heuristic only")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (any mode; inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file (any mode; inspect with go tool pprof)")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *benchOut != "" {
 		if err := runKernelBench(*benchOut); err != nil {
@@ -139,6 +181,12 @@ func main() {
 	}
 	if *searchBenchOut != "" {
 		if err := runSearchBench(*searchBenchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *satBenchOut != "" {
+		if err := runSatBench(*satBenchOut); err != nil {
 			log.Fatal(err)
 		}
 		return

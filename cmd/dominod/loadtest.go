@@ -7,43 +7,62 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/blif"
+	"repro/internal/gen"
 	"repro/internal/serve"
 )
-
-// loadtestBLIF is the load-test payload: a small combinational circuit
-// so the cold path measures queue + flow overhead at high job rates
-// rather than one giant synthesis. The cached path never runs the flow
-// at all — it measures the HTTP + hash + cache-lookup ceiling.
-const loadtestBLIF = `.model loadtest
-.inputs a b c d
-.outputs f g
-.names a b t
-11 1
-.names t c f
-1- 1
--1 1
-.names c d g
-10 1
-01 1
-.end
-`
 
 type loadtestOptions struct {
 	jobs    int     // cached-path submissions
 	clients int     // concurrent HTTP clients
 	cold    int     // cold-path submissions (distinct configs)
 	minRate float64 // gate: minimum cached-path jobs/min (0 disables)
+	payload string  // BLIF file to submit ("" = generated mid-size twin)
 	outPath string
+}
+
+// loadtestPayload resolves the submission payload: a BLIF file from
+// disk when -loadtest-payload names one, else a generated mid-size
+// synthetic twin (24 PIs, 12 POs, ~200 gates) — large enough that the
+// cold path measures a representative synthesis, small enough that a
+// cold job stays in the seconds. Earlier revisions used a 4-PI/2-PO
+// toy, which measured queue overhead only. The returned counts and
+// byte size go into the report so BENCH_6.json records what was
+// actually measured.
+func loadtestPayload(path string) (name string, data []byte, pis, pos int, err error) {
+	if path != "" {
+		data, err = os.ReadFile(path)
+		if err != nil {
+			return "", nil, 0, 0, err
+		}
+		m, perr := blif.ParseString(string(data))
+		if perr != nil {
+			return "", nil, 0, 0, fmt.Errorf("parse %s: %w", path, perr)
+		}
+		return filepath.Base(path), data, m.Network.NumInputs(), m.Network.NumOutputs(), nil
+	}
+	net := gen.Generate(gen.Params{
+		Name: "loadtest", Inputs: 24, Outputs: 12, Gates: 200, Seed: 0x10AD, OrProb: 0.6,
+	})
+	s, werr := blif.WriteString(&blif.Model{Network: net})
+	if werr != nil {
+		return "", nil, 0, 0, werr
+	}
+	return "loadtest.blif", []byte(s), net.NumInputs(), net.NumOutputs(), nil
 }
 
 // loadtestReport is the persisted result shape (BENCH_6.json in CI).
 type loadtestReport struct {
 	Payload          string  `json:"payload"`
+	PayloadBytes     int     `json:"payload_bytes"`
+	PayloadPIs       int     `json:"payload_pis"`
+	PayloadPOs       int     `json:"payload_pos"`
 	Clients          int     `json:"clients"`
 	CachedJobs       int     `json:"cached_jobs"`
 	CachedWallSec    float64 `json:"cached_wall_sec"`
@@ -66,7 +85,7 @@ func runLoadtest(o loadtestOptions) error {
 	s := serve.NewServer(serve.Options{
 		QueueDepth:  4 * runtime.NumCPU(),
 		JobWorkers:  runtime.NumCPU(),
-		FlowWorkers: 1, // single tiny circuit per job
+		FlowWorkers: 1, // one mid-size circuit per job; parallelism lives at the job grain
 	})
 	s.Start()
 	defer s.Drain()
@@ -83,18 +102,21 @@ func runLoadtest(o loadtestOptions) error {
 		MaxIdleConnsPerHost: o.clients * 2,
 	}}
 
-	payload := []byte(loadtestBLIF)
+	payloadName, payload, pis, pos, err := loadtestPayload(o.payload)
+	if err != nil {
+		return fmt.Errorf("payload: %w", err)
+	}
 	cfgJSON := `{"SimVectors":256}`
 
 	// Prime: one cold run fills the cache.
-	st, err := submit(client, base, "loadtest.blif", payload, cfgJSON, http.StatusAccepted)
+	st, err := submit(client, base, payloadName, payload, cfgJSON, http.StatusAccepted)
 	if err != nil {
 		return fmt.Errorf("prime: %w", err)
 	}
 	if err := waitDone(client, base, st.ID, 2*time.Minute); err != nil {
 		return fmt.Errorf("prime: %w", err)
 	}
-	if st, err = submit(client, base, "loadtest.blif", payload, cfgJSON, http.StatusOK); err != nil {
+	if st, err = submit(client, base, payloadName, payload, cfgJSON, http.StatusOK); err != nil {
 		return fmt.Errorf("prime verify: %w", err)
 	}
 	if st.State != serve.StateDone {
@@ -113,7 +135,7 @@ func runLoadtest(o loadtestOptions) error {
 		go func() {
 			defer wg.Done()
 			for next.Add(1) <= int64(o.jobs) {
-				st, err := submit(client, base, "loadtest.blif", payload, cfgJSON, http.StatusOK)
+				st, err := submit(client, base, payloadName, payload, cfgJSON, http.StatusOK)
 				if err != nil || st.State != serve.StateDone {
 					failures.Add(1)
 					return
@@ -146,7 +168,7 @@ func runLoadtest(o loadtestOptions) error {
 				cfg := fmt.Sprintf(`{"SimVectors":256,"SimSeed":%d}`, i)
 				var st *jobStatusMin
 				for {
-					resp, err := rawSubmit(client, base, "loadtest.blif", payload, cfg)
+					resp, err := rawSubmit(client, base, payloadName, payload, cfg)
 					if err != nil {
 						coldErr.Store(err)
 						return
@@ -181,7 +203,10 @@ func runLoadtest(o loadtestOptions) error {
 	coldPerMin := float64(o.cold) / coldWall * 60
 
 	rep := loadtestReport{
-		Payload:          "loadtest.blif (4 PIs, 2 POs)",
+		Payload:          payloadName,
+		PayloadBytes:     len(payload),
+		PayloadPIs:       pis,
+		PayloadPOs:       pos,
 		Clients:          o.clients,
 		CachedJobs:       o.jobs,
 		CachedWallSec:    cachedWall,

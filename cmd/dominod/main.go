@@ -58,6 +58,7 @@ func main() {
 	ltClients := flag.Int("loadtest-clients", 8, "loadtest: concurrent HTTP clients")
 	ltCold := flag.Int("loadtest-cold", 24, "loadtest: cold-path submissions (distinct configs)")
 	ltMin := flag.Float64("loadtest-min", 1000, "loadtest: minimum sustained cached-path jobs/min (0 disables the gate)")
+	ltPayload := flag.String("loadtest-payload", "", "loadtest: BLIF file to submit as the job payload (default: a generated 24-PI/12-PO synthetic twin; size and PI/PO counts are recorded in the report)")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -82,6 +83,7 @@ func main() {
 			clients: *ltClients,
 			cold:    *ltCold,
 			minRate: *ltMin,
+			payload: *ltPayload,
 			outPath: *ltOut,
 		}); err != nil {
 			log.Fatalf("loadtest: FAIL: %v", err)

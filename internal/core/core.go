@@ -78,6 +78,10 @@ type Options struct {
 	// zero value is the bit-parallel one. Like Workers, it never changes
 	// results — only wall-clock.
 	SimKernel sim.Kernel
+	// SimBlockWords sets the blocked kernel's block size in 64-lane
+	// words (see sim.Config.BlockWords); 0 means the kernel default.
+	// Like SimKernel, it never changes results — only wall-clock.
+	SimBlockWords int
 	// PhaseScoring selects the candidate-scoring engine of the
 	// power-driven phase searches (see flow.PhaseScoring; the zero value
 	// precomputes the cone table and scores assignments from cached
@@ -234,6 +238,7 @@ func Synthesize(net *logic.Network, opts Options) (*Result, error) {
 	rep, err := sim.Run(block, sim.Config{
 		Vectors: opts.Vectors, Seed: opts.Seed, InputProbs: probs,
 		Shards: opts.SimShards, Workers: opts.Workers, Kernel: opts.SimKernel,
+		BlockWords: opts.SimBlockWords,
 	})
 	if err != nil {
 		return nil, err

@@ -87,6 +87,10 @@ type Config struct {
 	// zero value is the bit-parallel one. Like Workers, it never changes
 	// results — only wall-clock.
 	SimKernel sim.Kernel
+	// SimBlockWords sets the blocked kernel's block size in 64-lane
+	// words (see sim.Config.BlockWords); 0 means the kernel default.
+	// Like SimKernel, it never changes results — only wall-clock.
+	SimBlockWords int
 	// PhaseScoring selects the candidate-scoring engine of the
 	// power-driven phase searches (zero value: the cone table).
 	PhaseScoring PhaseScoring
@@ -133,7 +137,8 @@ func (c *Config) defaults() {
 // Canonical returns the configuration's content-addressing form: every
 // defaulted field is filled with its default (so the zero value and an
 // explicitly spelled-out default hash identically) and the pure
-// wall-clock knobs — Workers and SimKernel, which by contract never
+// wall-clock knobs — Workers, SimKernel, and SimBlockWords, which by
+// contract never
 // change any result — are zeroed. Two configurations with equal
 // Canonical() forms produce bit-identical flow rows for the same input;
 // the converse is deliberately conservative (two configs that happen to
@@ -158,6 +163,7 @@ func (c Config) Canonical() Config {
 	// Pure wall-clock knobs: no result anywhere depends on them.
 	c.Workers = 0
 	c.SimKernel = 0
+	c.SimBlockWords = 0
 	return c
 }
 
@@ -355,6 +361,7 @@ func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network
 	rep, err := sim.Run(b, sim.Config{
 		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
 		Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
+		BlockWords: cfg.SimBlockWords,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: sim: %w", err)
@@ -429,6 +436,7 @@ func RunCircuitTimed(c gen.NamedCircuit, cfg Config) (*Row, error) {
 		rep, simErr := sim.Run(s.Block, sim.Config{
 			Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
 			Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
+			BlockWords: cfg.SimBlockWords,
 		})
 		if simErr != nil {
 			return simErr

@@ -116,6 +116,7 @@ func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float
 	rep, err := sim.Run(b, sim.Config{
 		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
 		Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
+		BlockWords: cfg.SimBlockWords,
 	})
 	if err != nil {
 		return nil, err

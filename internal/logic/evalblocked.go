@@ -1,0 +1,293 @@
+package logic
+
+import "fmt"
+
+// MaxBlockWords is the largest supported evaluation block: 8 words of 64
+// lanes each, 512 packed assignments per blocked call. The cap keeps the
+// per-gate accumulator a fixed-size stack array.
+const MaxBlockWords = 8
+
+// Word-block primitives. Every slice has length bw (the callers slice
+// exactly); each returns the OR of all changed destination bits so the
+// gated evaluator gets its change test for free.
+
+func blkCopyDiff(dst, a []uint64) uint64 {
+	var d uint64
+	a = a[:len(dst)]
+	for j := range dst {
+		v := a[j]
+		d |= dst[j] ^ v
+		dst[j] = v
+	}
+	return d
+}
+
+func blkNotDiff(dst, a []uint64) uint64 {
+	var d uint64
+	a = a[:len(dst)]
+	for j := range dst {
+		v := ^a[j]
+		d |= dst[j] ^ v
+		dst[j] = v
+	}
+	return d
+}
+
+func blkAnd2Diff(dst, a, b []uint64) uint64 {
+	var d uint64
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for j := range dst {
+		v := a[j] & b[j]
+		d |= dst[j] ^ v
+		dst[j] = v
+	}
+	return d
+}
+
+func blkOr2Diff(dst, a, b []uint64) uint64 {
+	var d uint64
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for j := range dst {
+		v := a[j] | b[j]
+		d |= dst[j] ^ v
+		dst[j] = v
+	}
+	return d
+}
+
+func blkXor2Diff(dst, a, b []uint64) uint64 {
+	var d uint64
+	a = a[:len(dst)]
+	b = b[:len(dst)]
+	for j := range dst {
+		v := a[j] ^ b[j]
+		d |= dst[j] ^ v
+		dst[j] = v
+	}
+	return d
+}
+
+func blkAndInto(t, a []uint64) {
+	a = a[:len(t)]
+	for j := range t {
+		t[j] &= a[j]
+	}
+}
+
+func blkOrInto(t, a []uint64) {
+	a = a[:len(t)]
+	for j := range t {
+		t[j] |= a[j]
+	}
+}
+
+func blkXorInto(t, a []uint64) {
+	a = a[:len(t)]
+	for j := range t {
+		t[j] ^= a[j]
+	}
+}
+
+// evalBlockedNode recomputes node i's bw-word block in words and returns
+// the OR of the changed destination bits. t is the caller's bw-word
+// accumulator for gates wider than two fanins.
+func evalBlockedNode(node *Node, words []uint64, i, bw int, t []uint64) uint64 {
+	dst := words[i*bw : (i+1)*bw]
+	fan := node.Fanins
+	blk := func(f NodeID) []uint64 { return words[int(f)*bw : (int(f)+1)*bw] }
+	switch node.Kind {
+	case KindBuf:
+		return blkCopyDiff(dst, blk(fan[0]))
+	case KindNot:
+		return blkNotDiff(dst, blk(fan[0]))
+	case KindAnd:
+		if len(fan) == 2 {
+			return blkAnd2Diff(dst, blk(fan[0]), blk(fan[1]))
+		}
+		copy(t, blk(fan[0]))
+		for _, f := range fan[1:] {
+			blkAndInto(t, blk(f))
+		}
+		return blkCopyDiff(dst, t)
+	case KindOr:
+		if len(fan) == 2 {
+			return blkOr2Diff(dst, blk(fan[0]), blk(fan[1]))
+		}
+		copy(t, blk(fan[0]))
+		for _, f := range fan[1:] {
+			blkOrInto(t, blk(f))
+		}
+		return blkCopyDiff(dst, t)
+	case KindXor:
+		if len(fan) == 2 {
+			return blkXor2Diff(dst, blk(fan[0]), blk(fan[1]))
+		}
+		copy(t, blk(fan[0]))
+		for _, f := range fan[1:] {
+			blkXorInto(t, blk(f))
+		}
+		return blkCopyDiff(dst, t)
+	}
+	return 0
+}
+
+func checkBlockWords(bw int) {
+	if bw < 1 || bw > MaxBlockWords {
+		panic(fmt.Sprintf("logic: block of %d words (want 1..%d)", bw, MaxBlockWords))
+	}
+}
+
+// EvalWideBlocked evaluates the network for bw blocked words of 64
+// packed assignments each — up to 512 lanes per call. The layout is
+// flat and node-major: word j of node id lives at index id*bw+j, and
+// inputWords is parallel to Inputs() in the same [input][bw] layout
+// (input i's word j at i*bw+j). Lane k of word j is assignment j*64+k.
+// Blocking amortizes the per-gate dispatch of EvalWide over bw words
+// and keeps each gate's operands in adjacent cache lines. The words
+// slice may be reused across calls by passing it as scratch (pass nil
+// to allocate), exactly as with Eval and EvalWide.
+func (n *Network) EvalWideBlocked(inputWords []uint64, bw int, scratch []uint64) []uint64 {
+	checkBlockWords(bw)
+	if len(inputWords) != len(n.inputs)*bw {
+		panic(fmt.Sprintf("logic: EvalWideBlocked got %d input words, want %d×%d",
+			len(inputWords), len(n.inputs), bw))
+	}
+	words := scratch
+	if cap(words) < len(n.nodes)*bw {
+		words = make([]uint64, len(n.nodes)*bw)
+	}
+	words = words[:len(n.nodes)*bw]
+	for i, id := range n.inputs {
+		copy(words[int(id)*bw:(int(id)+1)*bw], inputWords[i*bw:(i+1)*bw])
+	}
+	var tmp [MaxBlockWords]uint64
+	t := tmp[:bw]
+	for i := range n.nodes {
+		node := &n.nodes[i]
+		switch node.Kind {
+		case KindInput:
+			// Already set.
+		case KindConst0:
+			for j := i * bw; j < (i+1)*bw; j++ {
+				words[j] = 0
+			}
+		case KindConst1:
+			for j := i * bw; j < (i+1)*bw; j++ {
+				words[j] = ^uint64(0)
+			}
+		default:
+			evalBlockedNode(node, words, i, bw, t)
+		}
+	}
+	return words
+}
+
+// BlockedEval is the stateful, activity-gated form of EvalWideBlocked:
+// it keeps every node's previous block of words and skips re-evaluating
+// a gate when none of its fanin blocks changed since the last call — in
+// which case the gate's words are provably identical too, so the stale
+// block stands. On low-activity inputs (probabilities near 0 or 1,
+// where packed words repeat block over block) this removes most gate
+// work; on dense inputs it degrades to one extra flag test per gate.
+// The skip test itself rides on the XOR diffs the change tracking
+// already computes, so gating adds no per-word passes.
+//
+// The returned slice aliases the internal state and is valid until the
+// next Eval call. A BlockedEval is not safe for concurrent use.
+type BlockedEval struct {
+	net     *Network
+	bw      int
+	words   []uint64
+	changed []bool
+	started bool
+	// evals and skips count per-gate-per-block decisions (gate kinds
+	// only: Buf, Not, And, Or, Xor).
+	evals int64
+	skips int64
+}
+
+// NewBlockedEval allocates gated evaluation state for blocks of bw
+// words (1 ≤ bw ≤ MaxBlockWords).
+func (n *Network) NewBlockedEval(bw int) *BlockedEval {
+	checkBlockWords(bw)
+	return &BlockedEval{
+		net:     n,
+		bw:      bw,
+		words:   make([]uint64, len(n.nodes)*bw),
+		changed: make([]bool, len(n.nodes)),
+	}
+}
+
+// BlockWords returns the configured words-per-block.
+func (e *BlockedEval) BlockWords() int { return e.bw }
+
+// GateEvals and GateSkips return the cumulative gating counters: how
+// many per-gate block evaluations ran and how many were skipped because
+// no fanin block changed. Their sum is gates × Eval calls.
+func (e *BlockedEval) GateEvals() int64 { return e.evals }
+
+// GateSkips returns the skipped-gate count; see GateEvals.
+func (e *BlockedEval) GateSkips() int64 { return e.skips }
+
+// Eval evaluates one block of inputWords (the EvalWideBlocked layout)
+// with activity gating and returns the node words, node-major. The
+// first call evaluates everything (there is no previous block to be
+// equal to); it is counted entirely as evals.
+func (e *BlockedEval) Eval(inputWords []uint64) []uint64 {
+	n := e.net
+	bw := e.bw
+	if len(inputWords) != len(n.inputs)*bw {
+		panic(fmt.Sprintf("logic: BlockedEval got %d input words, want %d×%d",
+			len(inputWords), len(n.inputs), bw))
+	}
+	words := e.words
+	started := e.started
+	for i, id := range n.inputs {
+		d := blkCopyDiff(words[int(id)*bw:(int(id)+1)*bw], inputWords[i*bw:(i+1)*bw])
+		e.changed[id] = d != 0 || !started
+	}
+	var tmp [MaxBlockWords]uint64
+	t := tmp[:bw]
+	for i := range n.nodes {
+		node := &n.nodes[i]
+		switch node.Kind {
+		case KindInput:
+			// Change flag already set above.
+		case KindConst0, KindConst1:
+			if !started {
+				v := uint64(0)
+				if node.Kind == KindConst1 {
+					v = ^uint64(0)
+				}
+				for j := i * bw; j < (i+1)*bw; j++ {
+					words[j] = v
+				}
+			}
+			e.changed[i] = !started
+		default:
+			if started {
+				any := false
+				for _, f := range node.Fanins {
+					if e.changed[f] {
+						any = true
+						break
+					}
+				}
+				if !any {
+					// Gating invariant: identical fanin blocks mean the
+					// stale output block is already the correct value.
+					e.changed[i] = false
+					e.skips++
+					continue
+				}
+			}
+			e.evals++
+			d := evalBlockedNode(node, words, i, bw, t)
+			e.changed[i] = d != 0 || !started
+		}
+	}
+	e.started = true
+	return words
+}

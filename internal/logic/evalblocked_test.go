@@ -1,0 +1,206 @@
+package logic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomBlockNet builds a random DAG over all gate kinds, including
+// constants, wide gates, and Buf/Not chains, for blocked-eval
+// cross-checking.
+func randomBlockNet(rng *rand.Rand, inputs, gates, outputs int) *Network {
+	n := New("blk")
+	ids := make([]NodeID, 0, inputs+gates+2)
+	for i := 0; i < inputs; i++ {
+		ids = append(ids, n.AddInput(fmt.Sprintf("bin%d", i)))
+	}
+	ids = append(ids, n.AddConst(false), n.AddConst(true))
+	pick := func() NodeID { return ids[rng.Intn(len(ids))] }
+	for g := 0; g < gates; g++ {
+		switch rng.Intn(6) {
+		case 0:
+			ids = append(ids, n.AddBuf(pick()))
+		case 1:
+			ids = append(ids, n.AddNot(pick()))
+		case 2:
+			ids = append(ids, n.AddAnd(pick(), pick()))
+		case 3:
+			ids = append(ids, n.AddOr(pick(), pick()))
+		case 4:
+			ids = append(ids, n.AddXor(pick(), pick()))
+		default:
+			fan := []NodeID{pick(), pick(), pick()}
+			if rng.Intn(2) == 0 {
+				fan = append(fan, pick())
+			}
+			if rng.Intn(2) == 0 {
+				ids = append(ids, n.AddAnd(fan...))
+			} else {
+				ids = append(ids, n.AddOr(fan...))
+			}
+		}
+	}
+	for i := 0; i < outputs; i++ {
+		n.MarkOutput(fmt.Sprintf("bout%d", i), ids[len(ids)-1-i])
+	}
+	return n
+}
+
+// TestEvalWideBlockedMatchesEvalWide checks the blocked evaluator
+// column by column against EvalWide for every supported block size: word
+// j of every node's block must equal the EvalWide word for that window's
+// inputs.
+func TestEvalWideBlockedMatchesEvalWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB10C))
+	for trial := 0; trial < 20; trial++ {
+		n := randomBlockNet(rng, 2+rng.Intn(10), 5+rng.Intn(80), 1+rng.Intn(4))
+		nin := n.NumInputs()
+		for _, bw := range []int{1, 2, 3, 4, 5, 8} {
+			in := make([]uint64, nin*bw)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			blocked := n.EvalWideBlocked(in, bw, nil)
+			wideIn := make([]uint64, nin)
+			scratch := make([]uint64, n.NumNodes())
+			for j := 0; j < bw; j++ {
+				for i := 0; i < nin; i++ {
+					wideIn[i] = in[i*bw+j]
+				}
+				wide := n.EvalWide(wideIn, scratch)
+				for id := 0; id < n.NumNodes(); id++ {
+					if blocked[id*bw+j] != wide[id] {
+						t.Fatalf("trial %d bw=%d word %d node %d: blocked %#x, wide %#x",
+							trial, bw, j, id, blocked[id*bw+j], wide[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalWideBlockedScratchReuse pins the scratch contract: a reused
+// buffer must give the same words as a fresh allocation, and the result
+// aliases the provided scratch when it is large enough.
+func TestEvalWideBlockedScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := randomBlockNet(rng, 6, 40, 2)
+	const bw = 4
+	in := make([]uint64, n.NumInputs()*bw)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	fresh := n.EvalWideBlocked(in, bw, nil)
+	scratch := make([]uint64, n.NumNodes()*bw)
+	for i := range scratch {
+		scratch[i] = ^uint64(0) // garbage must not leak through
+	}
+	reused := n.EvalWideBlocked(in, bw, scratch)
+	if &reused[0] != &scratch[0] {
+		t.Fatalf("result does not alias the provided scratch")
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("word %d: fresh %#x, reused %#x", i, fresh[i], reused[i])
+		}
+	}
+}
+
+// TestBlockedEvalGatingMatchesStateless drives the gated evaluator
+// through a sequence of input blocks designed to trigger skips — blocks
+// repeat wholesale, repeat on a subset of inputs, or change completely —
+// and requires every output to stay identical to the stateless
+// EvalWideBlocked. This is the gating invariant under test: a skipped
+// gate's words are provably unchanged, so gating can never alter a
+// value, only avoid recomputing it.
+func TestBlockedEvalGatingMatchesStateless(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x6A7E))
+	for trial := 0; trial < 10; trial++ {
+		n := randomBlockNet(rng, 3+rng.Intn(8), 10+rng.Intn(60), 1+rng.Intn(3))
+		nin := n.NumInputs()
+		for _, bw := range []int{1, 3, 8} {
+			ev := n.NewBlockedEval(bw)
+			in := make([]uint64, nin*bw)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			for step := 0; step < 12; step++ {
+				switch rng.Intn(3) {
+				case 0:
+					// Repeat the previous block unchanged.
+				case 1:
+					// Change a single input's block.
+					i := rng.Intn(nin)
+					for j := 0; j < bw; j++ {
+						in[i*bw+j] = rng.Uint64()
+					}
+				default:
+					for i := range in {
+						in[i] = rng.Uint64()
+					}
+				}
+				got := ev.Eval(in)
+				want := n.EvalWideBlocked(in, bw, nil)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d bw=%d step %d word %d: gated %#x, stateless %#x",
+							trial, bw, step, i, got[i], want[i])
+					}
+				}
+			}
+			gates := 0
+			for id := 0; id < n.NumNodes(); id++ {
+				if n.Kind(NodeID(id)).IsGate() {
+					gates++
+				}
+			}
+			if total := ev.GateEvals() + ev.GateSkips(); total != int64(gates*12) {
+				t.Errorf("trial %d bw=%d: evals %d + skips %d != gates %d × 12 steps",
+					trial, bw, ev.GateEvals(), ev.GateSkips(), gates)
+			}
+		}
+	}
+}
+
+// TestBlockedEvalSkipsOnRepeatedInputs checks that gating actually
+// fires: after the warm-up call, re-evaluating the identical input block
+// must skip every gate.
+func TestBlockedEvalSkipsOnRepeatedInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := randomBlockNet(rng, 8, 60, 3)
+	const bw = 8
+	ev := n.NewBlockedEval(bw)
+	in := make([]uint64, n.NumInputs()*bw)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	ev.Eval(in)
+	if ev.GateSkips() != 0 {
+		t.Fatalf("first call skipped %d gates; nothing to compare against yet", ev.GateSkips())
+	}
+	evalsAfterWarmup := ev.GateEvals()
+	ev.Eval(in)
+	if ev.GateEvals() != evalsAfterWarmup {
+		t.Errorf("identical repeat re-evaluated %d gates", ev.GateEvals()-evalsAfterWarmup)
+	}
+	if ev.GateSkips() != evalsAfterWarmup {
+		t.Errorf("identical repeat skipped %d gates, want all %d", ev.GateSkips(), evalsAfterWarmup)
+	}
+}
+
+func BenchmarkEvalWideBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n := randomBlockNet(rng, 24, 400, 8)
+	const bw = 8
+	in := make([]uint64, n.NumInputs()*bw)
+	for i := range in {
+		in[i] = rng.Uint64()
+	}
+	scratch := make([]uint64, n.NumNodes()*bw)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.EvalWideBlocked(in, bw, scratch)
+	}
+}

@@ -41,7 +41,7 @@ func TestCanonicalCoversEveryConfigField(t *testing.T) {
 	// Wall-clock knobs never change any result (the concurrency and
 	// packing contracts in internal/README.md), so Canonical must erase
 	// them — asserted field by field below.
-	wallclock := map[string]bool{"Workers": true, "SimKernel": true}
+	wallclock := map[string]bool{"Workers": true, "SimKernel": true, "SimBlockWords": true}
 
 	typ := reflect.TypeOf(flow.Config{})
 	for i := 0; i < typ.NumField(); i++ {
@@ -51,7 +51,7 @@ func TestCanonicalCoversEveryConfigField(t *testing.T) {
 				"decide whether it changes rows and update Canonical plus this test", name)
 		}
 	}
-	canon := reflect.ValueOf(flow.Config{Workers: 7, SimKernel: sim.KernelScalar}.Canonical())
+	canon := reflect.ValueOf(flow.Config{Workers: 7, SimKernel: sim.KernelScalar, SimBlockWords: 4}.Canonical())
 	for name := range wallclock {
 		if !canon.FieldByName(name).IsZero() {
 			t.Errorf("Canonical() keeps wall-clock field %q; the key would fragment on it", name)
@@ -88,6 +88,8 @@ func TestCacheKeyWallclockInvariant(t *testing.T) {
 		{Workers: 1}, {Workers: 8},
 		{SimKernel: sim.KernelWide}, {SimKernel: sim.KernelScalar},
 		{Workers: 3, SimKernel: sim.KernelScalar},
+		{SimKernel: sim.KernelBlocked, SimBlockWords: 4},
+		{SimBlockWords: 8},
 	} {
 		if mustKey(t, cfg, false, keyFile) != base {
 			t.Errorf("wall-clock variation %+v changed the key", cfg)

@@ -12,14 +12,17 @@
 // inverters toggle on input value changes (input side) or together with
 // their driving domino output (output side).
 //
-// Two kernels implement the same measurement. The default bit-parallel
-// kernel packs 64 cycles into the lanes of one uint64 per net and
-// evaluates each gate once per word (logic.EvalWide), counting
-// transitions with popcounts; the scalar kernel evaluates one []bool
-// vector per cycle and is kept as the reference oracle. Both draw their
-// Bernoulli inputs in the same rng order and share the same windowed
-// accumulation arithmetic, so for every (Seed, Shards) they produce
-// byte-identical Reports.
+// Three kernels implement the same measurement. The default blocked
+// kernel packs up to 512 cycles into a block of 8 uint64 words per net
+// (logic.EvalWideBlocked), skips gates whose inputs did not change
+// between blocks (activity gating, logic.BlockedEval), and fuses the
+// per-window statistics folds so their float chains interleave; the
+// 64-lane bit-parallel kernel evaluates one word at a time
+// (logic.EvalWide), counting transitions with popcounts; the scalar
+// kernel evaluates one []bool vector per cycle and is kept as the
+// reference oracle. All three draw their Bernoulli inputs in the same
+// rng order and fold the same counts in the same order, so for every
+// (Seed, Shards) they produce byte-identical Reports.
 package sim
 
 import (
@@ -34,17 +37,24 @@ import (
 	"repro/internal/stats"
 )
 
-// Kernel selects the simulation engine. Both kernels produce
+// Kernel selects the simulation engine. All kernels produce
 // byte-identical Reports; the choice affects wall-clock only.
 type Kernel uint8
 
 const (
-	// KernelAuto picks the fast engine (currently the bit-parallel one).
+	// KernelAuto picks the fast engine (currently the blocked
+	// multi-word one, KernelBlocked).
 	KernelAuto Kernel = iota
 	// KernelWide forces the 64-lane bit-parallel engine.
 	KernelWide
 	// KernelScalar forces the one-vector-per-cycle reference engine.
 	KernelScalar
+	// KernelBlocked forces the blocked multi-word engine: BlockWords
+	// 64-lane words per net per step (logic.EvalWideBlocked) with
+	// activity gating — gates whose fanin words did not change since the
+	// previous block are skipped (logic.BlockedEval) — and fused
+	// counting that interleaves the per-window statistics folds.
+	KernelBlocked
 )
 
 // simWindow is the statistics window: transition counts fold into the
@@ -141,8 +151,19 @@ type Config struct {
 	// 1 = sequential). Workers affects wall-clock only, never the report.
 	Workers int
 	// Kernel selects the engine (see Kernel); the zero value picks the
-	// bit-parallel one. Reports do not depend on it.
+	// fastest one. Reports do not depend on it.
 	Kernel Kernel
+	// BlockWords sets the blocked kernel's words-per-block (64 lanes
+	// each): 0 means the default (8, i.e. 512 lanes), other values are
+	// clamped to 1..logic.MaxBlockWords. Like Kernel and Workers it is
+	// a pure wall-clock knob — Reports do not depend on it.
+	BlockWords int
+	// Stats, when non-nil, receives the blocked kernel's cumulative
+	// activity-gating counters, summed over shards in index order. They
+	// are deterministic for a fixed (Seed, Shards, BlockWords) and stay
+	// zero under the scalar and wide kernels. Stats is an out-parameter
+	// only; it never influences the Report.
+	Stats *KernelStats
 }
 
 // Report summarizes measured activity. Power figures are in switched-
@@ -229,6 +250,9 @@ type shardResult struct {
 	inputInvTrans  []int64 // per block-input position
 	outputInvTrans []int64 // per output index
 	perCycle       stats.Running
+	// Activity-gating counters (blocked kernel only; see KernelStats).
+	gateEvals int64
+	gateSkips int64
 }
 
 func newShardResult(b *domino.Block) *shardResult {
@@ -476,16 +500,21 @@ func runShardWide(ctx context.Context, b *domino.Block, cfg Config, p *blockPara
 
 // runShard dispatches to the configured kernel; zero-vector shards (which
 // the sizing logic never produces, but belt and braces) return an empty
-// result rather than feeding the merge degenerate statistics. p is built
-// once per Run and shared read-only by all shard goroutines.
-func runShard(ctx context.Context, b *domino.Block, cfg Config, p *blockParams, perCycleCI bool, seed int64, vectors int) (*shardResult, error) {
+// result rather than feeding the merge degenerate statistics. p — and pc,
+// for the blocked kernel — are built once per Run and shared read-only by
+// all shard goroutines.
+func runShard(ctx context.Context, b *domino.Block, cfg Config, p *blockParams, pc *blockedPrecomp, perCycleCI bool, seed int64, vectors int) (*shardResult, error) {
 	if vectors <= 0 {
 		return newShardResult(b), nil
 	}
-	if cfg.Kernel == KernelScalar {
+	switch cfg.Kernel {
+	case KernelScalar:
 		return runShardScalar(ctx, b, cfg, p, perCycleCI, seed, vectors)
+	case KernelWide:
+		return runShardWide(ctx, b, cfg, p, perCycleCI, seed, vectors)
+	default: // KernelAuto, KernelBlocked
+		return runShardBlocked(ctx, b, cfg, p, pc, perCycleCI, seed, vectors)
 	}
-	return runShardWide(ctx, b, cfg, p, perCycleCI, seed, vectors)
 }
 
 // Run simulates the mapped block for cfg.Vectors cycles and returns the
@@ -513,6 +542,10 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 	}
 	ranges := par.SplitRange(vectors, shards)
 	p := newBlockParams(b)
+	var pc *blockedPrecomp
+	if cfg.Kernel != KernelScalar && cfg.Kernel != KernelWide {
+		pc = newBlockedPrecomp(b, cfg.InputProbs)
+	}
 	// CI sampling mode is a run-level decision (all shards agree, so the
 	// merged Welford samples are homogeneous): batch means over full
 	// 64-cycle windows normally, genuine per-cycle samples when the
@@ -520,7 +553,7 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 	perCycleCI := vectors/shards < perCycleCIThreshold
 	results, err := par.Map(context.Background(), len(ranges), cfg.Workers,
 		func(ctx context.Context, s int) (*shardResult, error) {
-			return runShard(ctx, b, cfg, p, perCycleCI, cfg.Seed+int64(s), ranges[s][1]-ranges[s][0])
+			return runShard(ctx, b, cfg, p, pc, perCycleCI, cfg.Seed+int64(s), ranges[s][1]-ranges[s][0])
 		})
 	if err != nil {
 		return nil, err
@@ -534,6 +567,7 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 	invTrans := make([]int64, len(b.Phase.Inputs))
 	outTrans := make([]int64, len(b.Phase.Outputs))
 	var perCycle stats.Running
+	var gating KernelStats
 	for _, sr := range results {
 		for ci, t := range sr.cellTrans {
 			cellTrans[ci] += t
@@ -544,7 +578,12 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 		for oi, t := range sr.outputInvTrans {
 			outTrans[oi] += t
 		}
+		gating.GateEvals += sr.gateEvals
+		gating.GateSkips += sr.gateSkips
 		perCycle = stats.Merge(perCycle, sr.perCycle)
+	}
+	if cfg.Stats != nil {
+		*cfg.Stats = gating
 	}
 	// Weight the merged integer counts once, in fixed index order — the
 	// power figures are exact functions of the counts, independent of
