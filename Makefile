@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench conebench searchbench satbench corpussmoke servesmoke loadtest lint docgate fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench searchbench satbench corpussmoke servesmoke faultsmoke loadtest lint docgate fmt benchsuite
 
 all: lint build test
 
@@ -78,6 +78,19 @@ servesmoke:
 	rm -rf serve-smoke
 	$(GO) run ./cmd/genbench -dir serve-smoke -only apex7,frg1,x1
 	$(GO) run ./cmd/dominod -smoke serve-smoke -smoke-out serve-smoke/rows.jsonl
+
+# Chaos smoke: dominod with fault injection on, driven under the race
+# detector through hostile traffic — configure-time panics, circuits
+# pinned in the sim loop until the per-circuit timeout cancels them,
+# exact-BDD jobs under an impossible node budget, and client DELETE
+# cancellations — then the Table-1 twin corpus under a real BDD node
+# budget. Gates on panics isolating into error rows, pinned circuits
+# timing out cooperatively, blown budgets degrading (never erroring),
+# both drains finishing clean, and the goroutine count returning to
+# baseline. Writes BENCH_8.json (largest circuit completed + rows/sec
+# with budgets on; uploaded as a CI artifact).
+faultsmoke:
+	$(GO) run -race ./cmd/dominod -faultsmoke -faultsmoke-out BENCH_8.json
 
 # Service load test: sustained jobs/min over real HTTP against an
 # in-process dominod, persisted as BENCH_6.json (uploaded as a CI

@@ -1,0 +1,460 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// faultsmokeReport is the BENCH_8.json artifact: proof that the daemon
+// survives hostile traffic (panics, pinned circuits, blown budgets,
+// client cancellations) without wedging or leaking, plus the headline
+// budgeted-throughput numbers.
+type faultsmokeReport struct {
+	LargestCircuitCompleted string  `json:"largest_circuit_completed"`
+	LargestCircuitPIs       int     `json:"largest_circuit_pis"`
+	LargestCircuitPOs       int     `json:"largest_circuit_pos"`
+	BudgetedRows            int     `json:"budgeted_rows"`
+	BudgetedWallSec         float64 `json:"budgeted_wall_sec"`
+	BudgetedRowsPerSec      float64 `json:"budgeted_rows_per_sec"`
+	DegradedRows            int     `json:"degraded_rows"`
+	BudgetTrips             int     `json:"budget_trips"`
+	PanicRows               int     `json:"panic_rows"`
+	TimedOutRows            int     `json:"timed_out_rows"`
+	CancelledJobs           int     `json:"cancelled_jobs"`
+	GoroutinesBaseline      int     `json:"goroutines_baseline"`
+	GoroutinesAfterDrain    int     `json:"goroutines_after_drain"`
+}
+
+// genBLIF serializes a small generated circuit. Every payload gets a
+// distinct seed so no two submissions share file bytes: fault behavior
+// keys on the circuit NAME while the result cache keys on the BYTES, and
+// the harness must not let a degraded or hostile row alias a healthy one.
+func genBLIF(name string, inputs, outputs, gates int, seed int64) ([]byte, error) {
+	net := gen.Generate(gen.Params{Name: name, Inputs: inputs, Outputs: outputs, Gates: gates, Seed: seed})
+	s, err := blif.WriteString(&blif.Model{Network: net})
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// runFaultsmoke is the chaos gate (make faultsmoke, run under -race).
+// Against an in-process server with fault injection enabled it:
+//
+//  1. submits a mix of healthy circuits and fault-injected ones —
+//     configure-time panics, circuits pinned in the sim loop until the
+//     per-circuit timeout cancels them, and exact-BDD runs under an
+//     impossible node budget — and checks every job completes with the
+//     expected row shape while /healthz stays live;
+//  2. cancels a pinned job via DELETE and checks it finishes as
+//     cancelled with timed-out rows instead of wedging its worker;
+//  3. on a second server with no per-circuit timeout, runs the Table-1
+//     twin corpus under a real BDD node budget and records which
+//     circuits degraded, the largest circuit completed, and rows/sec
+//     with budgets on;
+//  4. drains both servers gracefully and checks the goroutine count
+//     returns to the pre-traffic baseline — the regression guard for
+//     the old abandon-on-timeout scheme, which leaked one goroutine per
+//     timed-out circuit.
+//
+// The hostile mix and the budgeted corpus run on separate servers
+// because the pinned-circuit scenarios want a tight per-circuit timeout
+// while the big budgeted circuits legitimately need tens of seconds
+// under the race detector.
+func runFaultsmoke(outPath string, opts serve.Options) error {
+	opts.FaultInjection = true
+	opts.QueueDepth = 32
+	opts.JobWorkers = 2
+	if opts.FlowWorkers == 0 {
+		opts.FlowWorkers = 2
+	}
+	if opts.CircuitTimeout == 0 {
+		opts.CircuitTimeout = 2 * time.Second
+	}
+	baseline := runtime.NumGoroutine()
+	s := serve.NewServer(opts)
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	var rep faultsmokeReport
+	rep.GoroutinesBaseline = baseline
+
+	cfgJSON := `{"SimVectors":256,"SimShards":2}`
+
+	// 1. Hostile mix: healthy + panicking + pinned + budget-blowing, all
+	// in flight together.
+	type expect struct {
+		id   string
+		kind string // healthy | panic | slow | bddblow
+	}
+	var jobs []expect
+	seed := int64(0xFA157)
+	for i := 0; i < 3; i++ {
+		for _, kind := range []string{"healthy", "panic", "slow", "bddblow"} {
+			name := fmt.Sprintf("%s-%d.blif", kind, i)
+			if kind != "healthy" {
+				name = fmt.Sprintf("fault-%s-%d.blif", kind, i)
+			}
+			seed++
+			// bddblow circuits must be dense enough that even their
+			// optimized form needs real BDDs, or the budget has nothing
+			// to trip on.
+			inputs, outputs, gates := 8, 3, 30
+			if kind == "bddblow" {
+				inputs, outputs, gates = 12, 4, 60
+			}
+			data, err := genBLIF(strings.TrimSuffix(name, ".blif"), inputs, outputs, gates, seed)
+			if err != nil {
+				return err
+			}
+			st, err := submit(client, base, name, data, cfgJSON, http.StatusAccepted)
+			if err != nil {
+				return fmt.Errorf("submit %s: %w", name, err)
+			}
+			jobs = append(jobs, expect{st.ID, kind})
+		}
+	}
+	if err := checkHealthz(client, base); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		if err := waitDone(client, base, j.id, 2*time.Minute); err != nil {
+			return fmt.Errorf("%s job: %w", j.kind, err)
+		}
+		lines, err := streamRows(client, base, j.id)
+		if err != nil {
+			return fmt.Errorf("%s rows: %w", j.kind, err)
+		}
+		if len(lines) != 1 {
+			return fmt.Errorf("%s job: %d rows, want 1", j.kind, len(lines))
+		}
+		var rec report.CorpusRecord
+		if err := json.Unmarshal(lines[0], &rec); err != nil {
+			return err
+		}
+		switch j.kind {
+		case "healthy":
+			if rec.Error != "" {
+				return fmt.Errorf("healthy circuit failed amid hostile traffic: %s", rec.Error)
+			}
+		case "panic":
+			if !strings.Contains(rec.Error, "panic") {
+				return fmt.Errorf("panic row not isolated as an error: %+v", rec)
+			}
+			rep.PanicRows++
+		case "slow":
+			if !rec.TimedOut {
+				return fmt.Errorf("pinned circuit was not timed out: %+v", rec)
+			}
+			rep.TimedOutRows++
+		case "bddblow":
+			if rec.Error != "" {
+				return fmt.Errorf("budget-blown circuit errored instead of degrading: %s", rec.Error)
+			}
+			if rec.Engine == "" || rec.BudgetTrips == 0 {
+				return fmt.Errorf("budget-blown row lacks degradation metadata: %+v", rec)
+			}
+		}
+	}
+	log.Printf("faultsmoke: %d-job hostile mix done: panics isolated, pinned circuits timed out, blown budgets degraded", len(jobs))
+
+	// 2. Client cancellation of a pinned job: DELETE must end it well
+	// before the per-circuit timeout would.
+	seed++
+	data, err := genBLIF("fault-slow-cancel", 8, 3, 30, seed)
+	if err != nil {
+		return err
+	}
+	st, err := submit(client, base, "fault-slow-cancel.blif", data, cfgJSON, http.StatusAccepted)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest("DELETE", base+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DELETE: status %d", resp.StatusCode)
+	}
+	if err := waitDone(client, base, st.ID, time.Minute); err != nil {
+		return fmt.Errorf("cancelled job: %w", err)
+	}
+	fin, err := getStatus(client, base, st.ID)
+	if err != nil {
+		return err
+	}
+	if !fin.Cancelled {
+		return fmt.Errorf("DELETE did not mark the job cancelled: %+v", fin)
+	}
+	rep.CancelledJobs++
+	log.Print("faultsmoke: DELETE cancelled a pinned job without wedging its worker")
+
+	// The hostile server's metrics must reflect what just happened, and
+	// its drain must leave no goroutines behind.
+	counters, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	for counter, min := range map[string]float64{
+		"dominod_jobs_cancelled_total": 1,
+		"dominod_rows_timed_out_total": float64(rep.TimedOutRows),
+		"dominod_budget_trips_total":   1,
+		"dominod_rows_failed_total":    float64(rep.PanicRows),
+	} {
+		v, ok := counters[counter]
+		if !ok {
+			return fmt.Errorf("/metrics missing %s", counter)
+		}
+		if v < min {
+			return fmt.Errorf("%s = %g, want >= %g", counter, v, min)
+		}
+	}
+	if err := checkHealthz(client, base); err != nil {
+		return err
+	}
+	s.Drain()
+	// The leak check counts total goroutines, so the HTTP plumbing
+	// (accept loop, keep-alive conns) must be gone first — only the
+	// serve-layer's own hygiene is under test.
+	client.CloseIdleConnections()
+	hs.Close()
+	if err := waitGoroutineBaseline(baseline, &rep); err != nil {
+		return fmt.Errorf("after hostile-mix drain: %w", err)
+	}
+	log.Printf("faultsmoke: hostile server drained clean, goroutines back to baseline (%d)", baseline)
+
+	// 3. Budgeted throughput on a fresh server with no per-circuit
+	// timeout: the Table-1 twin corpus under exact-BDD probabilities and
+	// a node budget small enough that the big circuits must degrade —
+	// every row must still complete.
+	bOpts := opts
+	bOpts.CircuitTimeout = 0
+	bs := serve.NewServer(bOpts)
+	bs.Start()
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	bhs := &http.Server{Handler: bs.Handler()}
+	go bhs.Serve(bln)
+	defer bhs.Close()
+	base = "http://" + bln.Addr().String()
+
+	budgetCfg := flow.Config{
+		SimVectors: 256,
+		SimShards:  2,
+		// MaxPairs and a shallow depth-weighted estimator keep the
+		// degraded big circuits to seconds each under -race; the budget
+		// semantics are what's under test, not search breadth.
+		MaxPairs:      24,
+		EstOpts:       power.Options{Method: power.Exact, Depth: 3, MaxFrontier: 8},
+		BDDNodeBudget: 20000,
+	}
+	budgetCfgJSON, err := json.Marshal(budgetCfg)
+	if err != nil {
+		return err
+	}
+	circuits := gen.Table1Circuits()
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, c := range circuits {
+		m, err := blif.WriteString(&blif.Model{Network: c.Net})
+		if err != nil {
+			return err
+		}
+		if err := tw.WriteHeader(&tar.Header{Name: c.FileName() + ".blif", Mode: 0o644, Size: int64(len(m))}); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(tw, m); err != nil {
+			return err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return err
+	}
+	budgetStart := time.Now()
+	bst, err := submit(client, base, "table1.tar", buf.Bytes(), string(budgetCfgJSON), http.StatusAccepted)
+	if err != nil {
+		return fmt.Errorf("budgeted corpus: %w", err)
+	}
+	lines, err := streamRows(client, base, bst.ID)
+	if err != nil {
+		return err
+	}
+	rep.BudgetedWallSec = time.Since(budgetStart).Seconds()
+	rep.BudgetedRows = len(lines)
+	if len(lines) != len(circuits) {
+		return fmt.Errorf("budgeted corpus: %d rows, want %d", len(lines), len(circuits))
+	}
+	byName := make(map[string]gen.NamedCircuit, len(circuits))
+	for _, c := range circuits {
+		byName[c.Name] = c
+	}
+	for _, line := range lines {
+		var rec report.CorpusRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return err
+		}
+		if rec.Error != "" {
+			return fmt.Errorf("budgeted circuit %s failed instead of degrading: %s", rec.Name, rec.Error)
+		}
+		if rec.Engine != "" {
+			rep.DegradedRows++
+		}
+		rep.BudgetTrips += rec.BudgetTrips
+		c, ok := byName[rec.Name]
+		if ok && c.Net.NumInputs() >= rep.LargestCircuitPIs {
+			rep.LargestCircuitCompleted = rec.Name
+			rep.LargestCircuitPIs = c.Net.NumInputs()
+			rep.LargestCircuitPOs = c.Net.NumOutputs()
+		}
+	}
+	if rep.BudgetedWallSec > 0 {
+		rep.BudgetedRowsPerSec = float64(rep.BudgetedRows) / rep.BudgetedWallSec
+	}
+	if rep.DegradedRows == 0 {
+		return fmt.Errorf("no budgeted circuit degraded — the node budget never bit, lower it")
+	}
+	log.Printf("faultsmoke: budgeted corpus: %d rows in %.2fs (%.1f rows/s), %d degraded, %d budget trips, largest completed: %s (%d PIs)",
+		rep.BudgetedRows, rep.BudgetedWallSec, rep.BudgetedRowsPerSec, rep.DegradedRows, rep.BudgetTrips, rep.LargestCircuitCompleted, rep.LargestCircuitPIs)
+
+	// The budgeted server's metrics must carry the degradation counters.
+	bcounters, err := scrapeMetrics(client, base)
+	if err != nil {
+		return err
+	}
+	if bcounters["dominod_budget_trips_total"] < 1 {
+		return fmt.Errorf("budgeted server reports no budget trips")
+	}
+	if bcounters["dominod_rows_degraded_depth_total"]+bcounters["dominod_rows_degraded_mc_total"] < float64(rep.DegradedRows) {
+		return fmt.Errorf("degradation counters below observed degraded rows (%d)", rep.DegradedRows)
+	}
+
+	// 4. Final drain, then the goroutine count must return to baseline.
+	if err := checkHealthz(client, base); err != nil {
+		return err
+	}
+	bs.Drain()
+	client.CloseIdleConnections()
+	bhs.Close()
+	if err := waitGoroutineBaseline(baseline, &rep); err != nil {
+		return fmt.Errorf("after budgeted drain: %w", err)
+	}
+	log.Printf("faultsmoke: drained clean, goroutines back to baseline (%d -> %d)", rep.GoroutinesAfterDrain, baseline)
+
+	if outPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		log.Printf("faultsmoke: wrote %s", outPath)
+	}
+	return nil
+}
+
+// waitGoroutineBaseline polls until the goroutine count unwinds to the
+// pre-traffic baseline (small tolerance for runtime helpers), recording
+// the final count in the report.
+func waitGoroutineBaseline(baseline int, rep *faultsmokeReport) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep.GoroutinesAfterDrain = runtime.NumGoroutine()
+		if rep.GoroutinesAfterDrain <= baseline+2 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("goroutines leaked: baseline %d, now %d", baseline, rep.GoroutinesAfterDrain)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func getStatus(client *http.Client, base, id string) (*jobStatusMin, error) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st jobStatusMin
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func checkHealthz(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: daemon unreachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrapeMetrics parses the Prometheus text exposition into name → value.
+func scrapeMetrics(client *http.Client, base string) (map[string]float64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = f
+	}
+	return out, nil
+}

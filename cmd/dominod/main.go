@@ -6,7 +6,7 @@
 // without re-running the flow. See docs/api.md for the endpoint
 // reference.
 //
-// Besides the daemon mode it bundles two self-driving harnesses:
+// Besides the daemon mode it bundles three self-driving harnesses:
 //
 //	dominod -smoke DIR       end-to-end service smoke over real HTTP
 //	                         (the CI servesmoke gate): submits DIR's
@@ -19,6 +19,14 @@
 //	dominod -loadtest        sustained-throughput harness: measures
 //	                         cached-path and cold-path jobs/min against
 //	                         a live server and fails below -loadtest-min.
+//	dominod -faultsmoke      chaos smoke (the CI faultsmoke gate, run
+//	                         under -race): hostile traffic — panicking
+//	                         configures, circuits pinned until the
+//	                         per-circuit timeout, blown BDD budgets,
+//	                         client cancellations — must leave the
+//	                         daemon live, draining clean, and at its
+//	                         baseline goroutine count; writes the
+//	                         BENCH_8.json degradation/throughput report.
 package main
 
 import (
@@ -59,6 +67,9 @@ func main() {
 	ltCold := flag.Int("loadtest-cold", 24, "loadtest: cold-path submissions (distinct configs)")
 	ltMin := flag.Float64("loadtest-min", 1000, "loadtest: minimum sustained cached-path jobs/min (0 disables the gate)")
 	ltPayload := flag.String("loadtest-payload", "", "loadtest: BLIF file to submit as the job payload (default: a generated 24-PI/12-PO synthetic twin; size and PI/PO counts are recorded in the report)")
+
+	faultsmoke := flag.Bool("faultsmoke", false, "run the chaos smoke harness against an in-process fault-injecting server, then exit")
+	fsOut := flag.String("faultsmoke-out", "", "faultsmoke: write the JSON report (BENCH_8.json) to this file")
 	flag.Parse()
 
 	opts := serve.Options{
@@ -77,6 +88,11 @@ func main() {
 			log.Fatalf("smoke: FAIL: %v", err)
 		}
 		log.Print("smoke: PASS")
+	case *faultsmoke:
+		if err := runFaultsmoke(*fsOut, opts); err != nil {
+			log.Fatalf("faultsmoke: FAIL: %v", err)
+		}
+		log.Print("faultsmoke: PASS")
 	case *loadtest:
 		if err := runLoadtest(loadtestOptions{
 			jobs:    *ltJobs,

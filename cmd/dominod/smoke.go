@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func runSmoke(dir, outPath string, vectors int, opts serve.Options) error {
 	if len(entries) == 0 {
 		return fmt.Errorf("no circuits in %s", dir)
 	}
+	baseline := runtime.NumGoroutine()
 
 	// A 1-deep queue and one job worker make backpressure exercisable.
 	opts.QueueDepth = 1
@@ -225,7 +227,25 @@ func runSmoke(dir, outPath string, vectors int, opts serve.Options) error {
 		return fmt.Errorf("in-flight job after drain: %w", err)
 	}
 	log.Print("smoke: graceful drain finished the in-flight job and rejected new submissions with 503")
-	return nil
+
+	// 5. Goroutine hygiene: after the drain every worker and per-job
+	// resource must be gone; allow the runtime a moment to unwind. The
+	// HTTP plumbing (accept loop, keep-alive conns) is shut down first —
+	// the serve layer's own hygiene is what's under test.
+	client.CloseIdleConnections()
+	hs.Close()
+	leakDeadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			log.Printf("smoke: goroutines back to baseline after drain (%d, baseline %d)", n, baseline)
+			return nil
+		}
+		if time.Now().After(leakDeadline) {
+			return fmt.Errorf("goroutines leaked: baseline %d, after drain %d", baseline, n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 func withOneWorker(cfg flow.Config) flow.Config {
@@ -265,6 +285,7 @@ type jobStatusMin struct {
 	State     string `json:"state"`
 	CacheHits int    `json:"cache_hits"`
 	Failed    int    `json:"failed"`
+	Cancelled bool   `json:"cancelled"`
 }
 
 func rawSubmit(client *http.Client, base, name string, data []byte, cfgJSON string) (*http.Response, error) {

@@ -20,6 +20,8 @@ package bdd
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/budget"
 )
 
 // Ref is a reference to a BDD node within one Manager. The terminals are
@@ -95,6 +97,11 @@ type Manager struct {
 	// levelOfVar[v] = level of variable v.
 	varAtLevel []int32
 	levelOfVar []int32
+
+	// budget, when non-nil, is polled on the fresh-node intern path:
+	// node-cap compare every insert, cancellation check every
+	// cancelPollInterval inserts (see interrupt.go).
+	budget *budget.T
 }
 
 // New creates a manager over numVars variables in natural order
@@ -125,7 +132,7 @@ func NewWithOrder(numVars int, order []int) *Manager {
 // NewWithOrderSized is NewWithOrder with NewSized's node-count hint.
 func NewWithOrderSized(numVars int, order []int, sizeHint int) *Manager {
 	if len(order) != numVars {
-		panic(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), numVars))
+		panic(orderError(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), numVars)))
 	}
 	if sizeHint < 2 {
 		sizeHint = 2
@@ -146,7 +153,7 @@ func NewWithOrderSized(numVars int, order []int, sizeHint int) *Manager {
 	seen := make([]bool, numVars)
 	for l, v := range order {
 		if v < 0 || v >= numVars || seen[v] {
-			panic(fmt.Sprintf("bdd: order is not a permutation at position %d", l))
+			panic(orderError(fmt.Sprintf("bdd: order is not a permutation at position %d", l)))
 		}
 		seen[v] = true
 		m.varAtLevel[l] = int32(v)
@@ -192,7 +199,7 @@ func (m *Manager) Reset() {
 // sequence of builds that each want their own order.
 func (m *Manager) ResetWithOrder(order []int) {
 	if len(order) != m.NumVars() {
-		panic(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), m.NumVars()))
+		panic(orderError(fmt.Sprintf("bdd: order length %d != numVars %d", len(order), m.NumVars())))
 	}
 	m.Reset()
 	for v := range m.levelOfVar {
@@ -200,7 +207,7 @@ func (m *Manager) ResetWithOrder(order []int) {
 	}
 	for l, v := range order {
 		if v < 0 || v >= m.NumVars() || m.levelOfVar[v] >= 0 {
-			panic(fmt.Sprintf("bdd: order is not a permutation at position %d", l))
+			panic(orderError(fmt.Sprintf("bdd: order is not a permutation at position %d", l)))
 		}
 		m.varAtLevel[l] = int32(v)
 		m.levelOfVar[v] = int32(l)
@@ -300,6 +307,9 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	}
 	m.unique[idx] = r
 	m.uniqueCount++
+	if m.budget != nil {
+		m.pollBudget()
+	}
 	return r
 }
 

@@ -1,0 +1,93 @@
+package bdd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/budget"
+)
+
+// The manager polls its budget token from the innermost hot path —
+// unique-table interning in mk — which sits under arbitrarily deep
+// apply/ITE recursions. Returning an error from there would thread an
+// error path through every recursive operator, so the engine follows
+// the CUDD convention instead: a trip raises a typed panic that unwinds
+// the whole build, and the BuildNetwork* boundary (or CatchInterrupt)
+// converts it back into an ordinary error. The manager's state stays
+// consistent across the unwind — mk polls only after an insert
+// completes — so a Reset*-based retry on the same manager is sound.
+
+// buildInterrupt is the typed panic carrying a budget/cancellation trip
+// out of a build.
+type buildInterrupt struct{ err error }
+
+// orderError is the typed panic raised by order validation
+// (NewWithOrder*, ResetWithOrder) on a malformed variable order, so the
+// BuildNetwork* boundary can hand a bad order from a config knob back
+// as an error row instead of a trapped panic.
+type orderError string
+
+// cancelPollInterval is how many unique-table inserts pass between
+// cancellation polls (one atomic load each). The node-budget compare is
+// checked on every insert; it is two plain loads.
+const cancelPollInterval = 256
+
+// SetBudget attaches a cancellation/budget token to the manager; every
+// subsequent build polls it at bounded intervals. A nil token detaches.
+// Reset and ResetWithOrder keep the attachment.
+func (m *Manager) SetBudget(t *budget.T) { m.budget = t }
+
+// pollBudget enforces the node cap and cancellation on the fresh-node
+// intern path. Caller guarantees m.budget != nil.
+func (m *Manager) pollBudget() {
+	if max := m.budget.MaxBDDNodes(); max > 0 && len(m.nodes)-2 > max {
+		panic(buildInterrupt{m.budget.TripBDD()})
+	}
+	if m.uniqueCount%cancelPollInterval == 0 {
+		if err := m.budget.Err(); err != nil {
+			panic(buildInterrupt{err})
+		}
+	}
+}
+
+// recoveredBuildErr maps a recovered panic value to the error the build
+// boundary should return, or nil when the panic is not one of the
+// manager's typed interrupts (the caller must re-panic).
+func recoveredBuildErr(p any) error {
+	switch v := p.(type) {
+	case buildInterrupt:
+		return v.err
+	case orderError:
+		return errors.New(string(v))
+	}
+	return nil
+}
+
+// CatchInterrupt runs build, converting a budget/cancellation interrupt
+// or order-validation panic raised by manager operations inside it into
+// the returned error. Any other panic propagates unchanged. Callers
+// constructing BDDs outside BuildNetwork* (per-cone local builds, say)
+// use it to get the same error-not-panic contract.
+func CatchInterrupt(build func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e := recoveredBuildErr(p); e != nil {
+				err = e
+				return
+			}
+			panic(p)
+		}
+	}()
+	build()
+	return nil
+}
+
+// Interrupt trips an explicit build interrupt carrying err from inside
+// a CatchInterrupt/BuildNetwork* region. It exists for callers that
+// poll the token themselves between manager operations.
+func Interrupt(err error) {
+	if err == nil {
+		err = fmt.Errorf("bdd: build interrupted")
+	}
+	panic(buildInterrupt{err})
+}

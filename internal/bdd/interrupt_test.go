@@ -1,0 +1,122 @@
+package bdd
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/logic"
+)
+
+// xorChain builds an n-input XOR chain, whose BDD has 2n-1 internal
+// nodes under any order — a predictable node count for budget tests.
+func xorChain(inputs int) *logic.Network {
+	n := logic.New("xorchain")
+	acc := n.AddInput("x0")
+	for i := 1; i < inputs; i++ {
+		acc = n.AddXor(acc, n.AddInput("x"+string(rune('0'+i))))
+	}
+	n.MarkOutput("f", acc)
+	return n
+}
+
+// TestBuildNetworkBadOrderReturnsError: a malformed order from a future
+// config knob must come back as an error row, not a trapped panic.
+func TestBuildNetworkBadOrderReturnsError(t *testing.T) {
+	n := xorChain(4)
+	cases := map[string][]int{
+		"wrong length":      {0, 1, 2},
+		"repeated variable": {0, 1, 1, 3},
+		"out of range":      {0, 1, 2, 9},
+		"negative":          {0, -1, 2, 3},
+	}
+	for name, order := range cases {
+		nb, err := BuildNetwork(n, order)
+		if err == nil || nb != nil {
+			t.Errorf("%s: BuildNetwork accepted order %v", name, order)
+			continue
+		}
+		if !strings.Contains(err.Error(), "order") {
+			t.Errorf("%s: error %q does not mention the order", name, err)
+		}
+	}
+	// And via the reused-manager path, which validates in ResetWithOrder.
+	m := New(4)
+	if _, err := BuildNetworkLitsIn(m, n, 4, nil, []int{2, 2, 2, 2}); err == nil {
+		t.Error("BuildNetworkLitsIn accepted a non-permutation order on a reused manager")
+	}
+	// The manager stays usable after the failed validation.
+	if _, err := BuildNetworkLitsIn(m, n, 4, nil, nil); err != nil {
+		t.Fatalf("manager unusable after rejected order: %v", err)
+	}
+}
+
+// TestBuildNetworkNodeBudget: a build exceeding the node budget returns
+// an error matching budget.ErrBDDNodes, and a generous budget does not
+// perturb the build.
+func TestBuildNetworkNodeBudget(t *testing.T) {
+	n := xorChain(8) // 15 internal nodes
+	tok := budget.New(4, 0)
+	m := New(8)
+	m.SetBudget(tok)
+	if _, err := BuildNetworkLitsIn(m, n, 8, nil, nil); !errors.Is(err, budget.ErrBDDNodes) {
+		t.Fatalf("tiny budget: err = %v, want ErrBDDNodes", err)
+	}
+	if tok.BDDTrips() != 1 {
+		t.Fatalf("BDDTrips = %d, want 1", tok.BDDTrips())
+	}
+	// A budget trip does not cancel the token; the same manager retries
+	// under a looser budget (the degradation chain's contract).
+	m.SetBudget(budget.New(1000, 0))
+	nb, err := BuildNetworkLitsIn(m, n, 8, nil, nil)
+	if err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	ref, err2 := BuildNetwork(n, nil)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if got, want := m.NodeCount(nb.OutputRefs(n)...), ref.Manager.NodeCount(ref.OutputRefs(n)...); got != want {
+		t.Fatalf("budgeted build node count %d != unbudgeted %d", got, want)
+	}
+}
+
+// TestBuildNetworkCancellation: a cancelled token aborts the build with
+// an error matching budget.ErrCancelled.
+func TestBuildNetworkCancellation(t *testing.T) {
+	n := xorChain(8)
+	tok := budget.New(0, 0)
+	tok.Cancel(nil)
+	m := New(8)
+	m.SetBudget(tok)
+	// The cancellation poll fires every cancelPollInterval inserts; a
+	// 15-node build may finish under it, so loop builds until observed.
+	for i := 0; i < cancelPollInterval; i++ {
+		if _, err := BuildNetworkLitsIn(m, n, 8, nil, nil); err != nil {
+			if !errors.Is(err, budget.ErrCancelled) {
+				t.Fatalf("err = %v, want ErrCancelled", err)
+			}
+			return
+		}
+	}
+	t.Fatal("cancelled token never aborted a build")
+}
+
+// TestCatchInterrupt: the helper converts typed interrupts to errors
+// and lets foreign panics through.
+func TestCatchInterrupt(t *testing.T) {
+	if err := CatchInterrupt(func() {}); err != nil {
+		t.Fatalf("clean build: %v", err)
+	}
+	want := errors.New("boom")
+	if err := CatchInterrupt(func() { Interrupt(want) }); !errors.Is(err, want) {
+		t.Fatalf("Interrupt: err = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	_ = CatchInterrupt(func() { panic("foreign") })
+}

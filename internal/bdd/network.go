@@ -53,7 +53,20 @@ func BuildNetworkLits(n *logic.Network, numVars int, lits []InputLit, order []in
 // recycles one manager's storage instead of allocating a forest per
 // build. m must have exactly numVars variables; a nil m allocates a
 // fresh manager, making this a drop-in superset of BuildNetworkLits.
-func BuildNetworkLitsIn(m *Manager, n *logic.Network, numVars int, lits []InputLit, order []int) (*NetworkBDDs, error) {
+//
+// BuildNetworkLitsIn is the build boundary: a malformed order (wrong
+// length, not a permutation) and a budget/cancellation interrupt from
+// the manager's token both come back as errors here, never as panics.
+func BuildNetworkLitsIn(m *Manager, n *logic.Network, numVars int, lits []InputLit, order []int) (nb *NetworkBDDs, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e := recoveredBuildErr(p); e != nil {
+				nb, err = nil, e
+				return
+			}
+			panic(p)
+		}
+	}()
 	if lits != nil && len(lits) != n.NumInputs() {
 		return nil, fmt.Errorf("bdd: %d literals for %d inputs", len(lits), n.NumInputs())
 	}
@@ -73,6 +86,11 @@ func BuildNetworkLitsIn(m *Manager, n *logic.Network, numVars int, lits []InputL
 			return nil, fmt.Errorf("bdd: manager has %d vars, build needs %d", m.NumVars(), numVars)
 		}
 		m.ResetWithOrder(order)
+	}
+	// One cancellation check per build, so builds too small to reach the
+	// insert-interval poll still observe a cancelled token promptly.
+	if err := m.budget.Err(); err != nil {
+		return nil, err
 	}
 	refs := make([]Ref, n.NumNodes())
 	inputVar := make(map[logic.NodeID]int, n.NumInputs())

@@ -2,10 +2,12 @@ package flow
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/corpus"
 	"repro/internal/par"
 )
@@ -37,6 +39,16 @@ type CorpusRow struct {
 	// exception to the deterministic row contract — so result caches
 	// (internal/serve) must never store them.
 	TimedOut bool
+	// Engine names the degradation-chain stage that produced the row
+	// ("" = the configured engine; see EngineDepthWeighted,
+	// EngineMonteCarlo). Like the row values it is a pure function of
+	// (entry content, configuration) — budget trips are decided per BDD
+	// build, never by scheduling.
+	Engine string
+	// BudgetTrips counts how many resource-budget trips (BDD node caps,
+	// sim vector clamps) occurred across every degradation stage this
+	// row attempted.
+	BudgetTrips int
 	// WallSec is wall-clock and therefore NOT part of the deterministic
 	// row contract. The JSONL serialization lives in
 	// report.CorpusRecord, not here.
@@ -57,8 +69,10 @@ type CorpusConfig struct {
 	// oversubscribe the CPU. Neither knob changes results.
 	Workers int
 	// Timeout caps one circuit's wall-clock (0 = none). A circuit that
-	// exceeds it yields an error row; its goroutine is abandoned (the
-	// flow has no preemption points) but the batch completes. Whether a
+	// exceeds it yields an error row via cooperative cancellation: the
+	// flow polls a budget token at bounded intervals (BDD inserts, sim
+	// windows, search candidates), so the worker goroutine exits and its
+	// memory is reclaimed before the next circuit starts. Whether a
 	// given circuit times out depends on machine speed, so determinism
 	// holds only for runs in which no row reports a timeout.
 	Timeout time.Duration
@@ -103,70 +117,78 @@ func RunCorpus(ctx context.Context, entries []corpus.Entry, cc CorpusConfig) ([]
 }
 
 // runOne executes one corpus entry end to end, trapping every failure
-// mode into the row.
+// mode into the row. The flow runs inline on the worker goroutine under
+// a timeout-derived context: a timeout or caller cancellation cancels
+// the budget token the flow polls, so the goroutine unwinds and returns
+// — nothing is abandoned, and repeated timed-out batches hold the
+// goroutine count at its baseline.
 func (cc *CorpusConfig) runOne(ctx context.Context, i int, e corpus.Entry) *CorpusRow {
 	row := &CorpusRow{Index: i, Name: e.Name, Path: e.Path, Format: e.Format.String()}
 	start := time.Now()
-	fill := func(row *CorpusRow) {
-		defer func() {
-			if p := recover(); p != nil {
-				row.Err = fmt.Sprintf("panic: %v", p)
-			}
-		}()
-		c, err := corpus.Load(e)
-		if err != nil {
-			row.Err = err.Error()
-			return
-		}
-		cfg := cc.Base
-		if cc.Configure != nil {
-			cfg = cc.Configure(c, cfg)
-		}
-		if c.Seq != nil {
-			row.Sequential = true
-			sr, err := RunSequential(c.Seq, cfg)
-			if err != nil {
-				row.Err = err.Error()
-				return
-			}
-			row.SeqRow = sr
-			return
-		}
-		var r *Row
-		if cc.Timed {
-			r, err = RunCircuitTimed(c.Named, cfg)
-		} else {
-			r, err = RunCircuit(c.Named, cfg)
-		}
-		if err != nil {
-			row.Err = err.Error()
-			return
-		}
-		row.Row = r
+	runCtx := ctx
+	if cc.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, cc.Timeout)
+		defer cancel()
 	}
-	if cc.Timeout <= 0 {
-		fill(row)
-		row.WallSec = time.Since(start).Seconds()
-		return row
-	}
-	inner := &CorpusRow{Index: i, Name: e.Name, Path: e.Path, Format: e.Format.String()}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		fill(inner)
-	}()
-	timer := time.NewTimer(cc.Timeout)
-	defer timer.Stop()
-	select {
-	case <-done:
-		*row = *inner
-	case <-timer.C:
-		row.Err = fmt.Sprintf("timeout after %v", cc.Timeout)
-		row.TimedOut = true
-	case <-ctx.Done():
-		row.Err = ctx.Err().Error()
-		row.TimedOut = true
-	}
+	cc.fillRow(runCtx, ctx, row, e)
 	row.WallSec = time.Since(start).Seconds()
 	return row
+}
+
+// fillRow runs the parse + flow pipeline for one entry, classifying the
+// outcome into the row: panics become error rows, cancellation errors
+// become timeout/cancellation rows (TimedOut set, never cached), and
+// everything else is either a flow error or a result.
+func (cc *CorpusConfig) fillRow(runCtx, ctx context.Context, row *CorpusRow, e corpus.Entry) {
+	defer func() {
+		if p := recover(); p != nil {
+			row.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	c, err := corpus.Load(e)
+	if err != nil {
+		row.Err = err.Error()
+		return
+	}
+	cfg := cc.Base
+	if cc.Configure != nil {
+		cfg = cc.Configure(c, cfg)
+	}
+	if c.Seq != nil {
+		row.Sequential = true
+		sr, engine, trips, err := runSequentialDegraded(runCtx, c.Seq, cfg)
+		row.Engine, row.BudgetTrips = engine, trips
+		if err != nil {
+			cc.classifyErr(ctx, row, err)
+			return
+		}
+		row.SeqRow = sr
+		return
+	}
+	r, engine, trips, err := runCircuitDegraded(runCtx, c.Named, cfg, cc.Timed)
+	row.Engine, row.BudgetTrips = engine, trips
+	if err != nil {
+		cc.classifyErr(ctx, row, err)
+		return
+	}
+	row.Row = r
+}
+
+// classifyErr splits cancellation from genuine flow failures: an error
+// caused by the parent context marks caller cancellation, any other
+// cancellation came from the per-circuit timeout. Both set TimedOut so
+// caches refuse the row.
+func (cc *CorpusConfig) classifyErr(ctx context.Context, row *CorpusRow, err error) {
+	if errors.Is(err, budget.ErrCancelled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		row.TimedOut = true
+		if ctx.Err() != nil {
+			row.Err = ctx.Err().Error()
+		} else {
+			row.Err = fmt.Sprintf("timeout after %v", cc.Timeout)
+		}
+		return
+	}
+	row.Err = err.Error()
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/flow"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 // Small hand-written corpus members: fast to synthesize (<= 3 outputs
@@ -191,6 +193,61 @@ func TestRunCorpusTimeout(t *testing.T) {
 	}
 	if rows[0].Err == "" || !strings.Contains(rows[0].Err, "timeout") {
 		t.Errorf("overlong circuit not timed out: %+v", rows[0])
+	}
+}
+
+// TestRunCorpusTimeoutLeaksNoGoroutines is the regression test for the
+// goroutine-abandonment bug: before cooperative cancellation, a timed
+// out circuit's flow goroutine kept running (pinned in the sim loop) and
+// RunCorpus simply stopped waiting for it. Each of the N timed-out jobs
+// below leaked one goroutine under the old scheme; now the timeout
+// cancels the budget token, the kernel observes it at the next poll
+// window, and the goroutine count returns to baseline.
+func TestRunCorpusTimeoutLeaksNoGoroutines(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{
+		"s1.blif": corpusCombBLIF,
+		"s2.pla":  corpusPLA,
+	})
+	entries, err := corpus.Discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	const runs = 4
+	for i := 0; i < runs; i++ {
+		rows, err := flow.RunCorpus(context.Background(), entries, flow.CorpusConfig{
+			Base:    testCorpusConfig(),
+			Workers: 2,
+			Timeout: 30 * time.Millisecond,
+			Configure: func(c *corpus.Circuit, base flow.Config) flow.Config {
+				// Pin the circuit in the scalar sim loop so only
+				// cancellation can end it.
+				base.SimVectors = 1 << 28
+				base.SimKernel = sim.KernelScalar
+				return base
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.TimedOut {
+				t.Fatalf("run %d: pinned circuit %s did not time out: %+v", i, r.Name, r)
+			}
+		}
+	}
+	// Cancellation is cooperative, so allow the workers a few poll
+	// windows to unwind before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d after %d timed-out corpus runs",
+				baseline, runtime.NumGoroutine(), runs)
+		}
+		time.Sleep(25 * time.Millisecond)
 	}
 }
 

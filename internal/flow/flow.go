@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/budget"
 	"repro/internal/domino"
 	"repro/internal/gen"
 	"repro/internal/logic"
@@ -106,6 +107,18 @@ type Config struct {
 	SearchRestarts int
 	SearchSeed     int64
 	AnnealSteps    int
+	// BDDNodeBudget caps the live node count of every BDD build run on
+	// behalf of this configuration (0 = unlimited). When a build exceeds
+	// it the circuit is retried down the degradation chain — exact BDD →
+	// depth-weighted → Monte-Carlo probability estimation — and the
+	// fallback stage is recorded per row (CorpusRow.Engine). The cap is
+	// checked per build, so whether it trips is a pure function of the
+	// configuration and circuit — never of Workers or scheduling.
+	BDDNodeBudget int
+	// SimVectorBudget caps the Monte-Carlo measurement vectors per sim
+	// run (0 = unlimited). The clamp applies before sharding, so it is
+	// deterministic for every Workers/SimShards setting.
+	SimVectorBudget int
 }
 
 func (c *Config) defaults() {
@@ -156,6 +169,9 @@ func (c Config) Canonical() Config {
 	}
 	if c.EstOpts.MaxFrontier == 0 {
 		c.EstOpts.MaxFrontier = 16
+	}
+	if c.EstOpts.MCVectors == 0 {
+		c.EstOpts.MCVectors = 2048
 	}
 	if c.SearchRestarts == 0 {
 		c.SearchRestarts = 3
@@ -251,12 +267,14 @@ func mapCellCountEvaluator(lib domino.Library) phase.Evaluator {
 
 // synthesizeMAAssignment runs the MA phase search on a prepared network
 // — the single assignment-selection path shared by the combinational and
-// sequential flows.
-func synthesizeMAAssignment(net *logic.Network, cfg Config) (phase.Assignment, *phase.Result, error) {
+// sequential flows. tok (nil = never cancelled) is polled by the search
+// at a bounded interval.
+func synthesizeMAAssignment(net *logic.Network, cfg Config, tok *budget.T) (phase.Assignment, *phase.Result, error) {
 	asg, res, _, err := phase.MinArea(net, phase.SearchOptions{
 		ExhaustiveLimit: cfg.ExhaustiveLimit,
 		Eval:            mapCellCountEvaluator(*cfg.Lib),
 		Workers:         cfg.Workers,
+		Budget:          tok,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("flow: MinArea: %w", err)
@@ -267,21 +285,27 @@ func synthesizeMAAssignment(net *logic.Network, cfg Config) (phase.Assignment, *
 // SynthesizeMA runs the minimum-area baseline on a prepared network.
 func SynthesizeMA(net *logic.Network, cfg Config) (*Synthesis, error) {
 	cfg.defaults()
-	asg, res, err := synthesizeMAAssignment(net, cfg)
+	return synthesizeMA(net, cfg, nil)
+}
+
+func synthesizeMA(net *logic.Network, cfg Config, tok *budget.T) (*Synthesis, error) {
+	asg, res, err := synthesizeMAAssignment(net, cfg, tok)
 	if err != nil {
 		return nil, err
 	}
-	return finishSynthesis(asg, res, net, cfg)
+	return finishSynthesis(asg, res, net, cfg, tok)
 }
 
 // phaseScorer builds the candidate scorer of the configured scoring
 // mode: the cone table by default, nil (meaning: use an Evaluate
 // fallback) under ScoreNaive.
-func phaseScorer(net *logic.Network, probs []float64, cfg Config) (phase.AssignmentScorer, error) {
+func phaseScorer(net *logic.Network, probs []float64, cfg Config, tok *budget.T) (phase.AssignmentScorer, error) {
 	if cfg.PhaseScoring == ScoreNaive {
 		return nil, nil
 	}
-	table, err := power.NewConeTable(net, *cfg.Lib, probs, cfg.EstOpts)
+	opts := cfg.EstOpts
+	opts.Budget = tok
+	table, err := power.NewConeTable(net, *cfg.Lib, probs, opts)
 	if err != nil {
 		return nil, fmt.Errorf("flow: cone table: %w", err)
 	}
@@ -294,7 +318,7 @@ func phaseScorer(net *logic.Network, probs []float64, cfg Config) (phase.Assignm
 // sequential flows: cone-table scoring by default (naive estimator
 // under ScoreNaive), the pairwise heuristic by default, or the
 // cfg.SearchStrategy strategy.
-func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config) (phase.Assignment, *phase.Result, float64, error) {
+func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config, tok *budget.T) (phase.Assignment, *phase.Result, float64, error) {
 	popts := phase.PowerOptions{
 		InputProbs:     probs,
 		MaxPairs:       cfg.MaxPairs,
@@ -303,8 +327,9 @@ func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config) (ph
 		SearchSeed:     cfg.SearchSeed,
 		SearchRestarts: cfg.SearchRestarts,
 		AnnealSteps:    cfg.AnnealSteps,
+		Budget:         tok,
 	}
-	scorer, err := phaseScorer(net, probs, cfg)
+	scorer, err := phaseScorer(net, probs, cfg, tok)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -313,7 +338,9 @@ func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config) (ph
 	} else {
 		// Sequential heuristic: the estimator's reusable BDD manager
 		// saves a forest allocation per candidate, bit-identically.
-		popts.Evaluate = power.NewEstimator(*cfg.Lib, probs, cfg.EstOpts).Evaluate
+		estOpts := cfg.EstOpts
+		estOpts.Budget = tok
+		popts.Evaluate = power.NewEstimator(*cfg.Lib, probs, estOpts).Evaluate
 	}
 	asg, res, est, _, err := phase.MinPower(net, popts)
 	if err != nil {
@@ -326,12 +353,16 @@ func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config) (ph
 // configured search strategy) on a prepared network.
 func SynthesizeMP(net *logic.Network, cfg Config) (*Synthesis, error) {
 	cfg.defaults()
+	return synthesizeMP(net, cfg, nil)
+}
+
+func synthesizeMP(net *logic.Network, cfg Config, tok *budget.T) (*Synthesis, error) {
 	probs := uniformProbs(net, cfg.InputProb)
-	asg, res, est, err := synthesizeMPAssignment(net, probs, cfg)
+	asg, res, est, err := synthesizeMPAssignment(net, probs, cfg, tok)
 	if err != nil {
 		return nil, err
 	}
-	s, err := finishSynthesis(asg, res, net, cfg)
+	s, err := finishSynthesis(asg, res, net, cfg, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -348,20 +379,22 @@ func mapBlock(res *phase.Result, cfg Config) (*domino.Block, error) {
 	return b, nil
 }
 
-func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network, cfg Config) (*Synthesis, error) {
+func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network, cfg Config, tok *budget.T) (*Synthesis, error) {
 	b, err := mapBlock(res, cfg)
 	if err != nil {
 		return nil, err
 	}
 	probs := uniformProbs(net, cfg.InputProb)
-	est, err := power.Estimate(b, probs, cfg.EstOpts)
+	estOpts := cfg.EstOpts
+	estOpts.Budget = tok
+	est, err := power.Estimate(b, probs, estOpts)
 	if err != nil {
 		return nil, fmt.Errorf("flow: Estimate: %w", err)
 	}
 	rep, err := sim.Run(b, sim.Config{
 		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
 		Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
-		BlockWords: cfg.SimBlockWords,
+		BlockWords: cfg.SimBlockWords, Budget: tok,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow: sim: %w", err)
@@ -381,15 +414,20 @@ func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network
 // RunCircuit executes the untimed (Table 1) flow on one benchmark.
 func RunCircuit(c gen.NamedCircuit, cfg Config) (*Row, error) {
 	cfg.defaults()
+	return runCircuit(c, cfg, nil)
+}
+
+// runCircuit is RunCircuit under an optional cancellation/budget token.
+func runCircuit(c gen.NamedCircuit, cfg Config, tok *budget.T) (*Row, error) {
 	net, err := prepare(c.Net, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ma, err := SynthesizeMA(net, cfg)
+	ma, err := synthesizeMA(net, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name, err)
 	}
-	mp, err := SynthesizeMP(net, cfg)
+	mp, err := synthesizeMP(net, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name, err)
 	}
@@ -401,15 +439,21 @@ func RunCircuit(c gen.NamedCircuit, cfg Config) (*Row, error) {
 // minimum-area implementation times the configured slack.
 func RunCircuitTimed(c gen.NamedCircuit, cfg Config) (*Row, error) {
 	cfg.defaults()
+	return runCircuitTimed(c, cfg, nil)
+}
+
+// runCircuitTimed is RunCircuitTimed under an optional
+// cancellation/budget token.
+func runCircuitTimed(c gen.NamedCircuit, cfg Config, tok *budget.T) (*Row, error) {
 	net, err := prepare(c.Net, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ma, err := SynthesizeMA(net, cfg)
+	ma, err := synthesizeMA(net, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name, err)
 	}
-	mp, err := SynthesizeMP(net, cfg)
+	mp, err := synthesizeMP(net, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name, err)
 	}
@@ -436,13 +480,15 @@ func RunCircuitTimed(c gen.NamedCircuit, cfg Config) (*Row, error) {
 		rep, simErr := sim.Run(s.Block, sim.Config{
 			Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
 			Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
-			BlockWords: cfg.SimBlockWords,
+			BlockWords: cfg.SimBlockWords, Budget: tok,
 		})
 		if simErr != nil {
 			return simErr
 		}
 		s.SimPower = rep.Total
-		est, estErr := power.Estimate(s.Block, probs, cfg.EstOpts)
+		estOpts := cfg.EstOpts
+		estOpts.Budget = tok
+		est, estErr := power.Estimate(s.Block, probs, estOpts)
 		if estErr != nil {
 			return estErr
 		}

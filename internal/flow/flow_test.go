@@ -76,7 +76,7 @@ func TestMPNoWorseThanAllPositiveInEstimate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := finishSynthesis(asg, res, net, cfg)
+		s, err := finishSynthesis(asg, res, net, cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

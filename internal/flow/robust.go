@@ -1,0 +1,154 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/phase"
+	"repro/internal/power"
+	"repro/internal/seq"
+	"repro/internal/sim"
+)
+
+// Validate rejects configurations that no flow can execute, naming the
+// offending field in the error so API boundaries (internal/serve) can
+// turn it into a structured 400 instead of a mid-job failure. It checks
+// ranges only — it does not apply defaults, so the zero value validates.
+func (c Config) Validate() error {
+	switch {
+	case c.InputProb < 0 || c.InputProb > 1:
+		return fmt.Errorf("flow: config field InputProb: %v out of range [0,1]", c.InputProb)
+	case c.SimVectors < 0:
+		return fmt.Errorf("flow: config field SimVectors: %d is negative", c.SimVectors)
+	case c.MaxPairs < 0:
+		return fmt.Errorf("flow: config field MaxPairs: %d is negative", c.MaxPairs)
+	case c.ExhaustiveLimit < 0:
+		return fmt.Errorf("flow: config field ExhaustiveLimit: %d is negative", c.ExhaustiveLimit)
+	case c.Slack < 0:
+		return fmt.Errorf("flow: config field Slack: %v is negative", c.Slack)
+	case c.MaxCollapseSupport < 0:
+		return fmt.Errorf("flow: config field MaxCollapseSupport: %d is negative", c.MaxCollapseSupport)
+	case c.Workers < 0:
+		return fmt.Errorf("flow: config field Workers: %d is negative", c.Workers)
+	case c.SimShards < 0:
+		return fmt.Errorf("flow: config field SimShards: %d is negative", c.SimShards)
+	case c.SimKernel < 0 || c.SimKernel > sim.KernelBlocked:
+		return fmt.Errorf("flow: config field SimKernel: unknown kernel %d", int(c.SimKernel))
+	case c.SimBlockWords < 0 || c.SimBlockWords > logic.MaxBlockWords:
+		return fmt.Errorf("flow: config field SimBlockWords: %d out of range [0,%d]", c.SimBlockWords, logic.MaxBlockWords)
+	case c.PhaseScoring < 0 || c.PhaseScoring > ScoreNaive:
+		return fmt.Errorf("flow: config field PhaseScoring: unknown scoring mode %d", int(c.PhaseScoring))
+	case c.SearchStrategy < 0 || c.SearchStrategy > phase.StrategyGreedy:
+		return fmt.Errorf("flow: config field SearchStrategy: unknown strategy %d", int(c.SearchStrategy))
+	case c.SearchRestarts < 0:
+		return fmt.Errorf("flow: config field SearchRestarts: %d is negative", c.SearchRestarts)
+	case c.AnnealSteps < 0:
+		return fmt.Errorf("flow: config field AnnealSteps: %d is negative", c.AnnealSteps)
+	case c.BDDNodeBudget < 0:
+		return fmt.Errorf("flow: config field BDDNodeBudget: %d is negative", c.BDDNodeBudget)
+	case c.SimVectorBudget < 0:
+		return fmt.Errorf("flow: config field SimVectorBudget: %d is negative", c.SimVectorBudget)
+	case c.EstOpts.Method < 0 || c.EstOpts.Method > power.MonteCarlo:
+		return fmt.Errorf("flow: config field EstOpts.Method: unknown method %d", int(c.EstOpts.Method))
+	case c.EstOpts.Depth < 0:
+		return fmt.Errorf("flow: config field EstOpts.Depth: %d is negative", c.EstOpts.Depth)
+	case c.EstOpts.MaxFrontier < 0:
+		return fmt.Errorf("flow: config field EstOpts.MaxFrontier: %d is negative", c.EstOpts.MaxFrontier)
+	case c.EstOpts.MCVectors < 0:
+		return fmt.Errorf("flow: config field EstOpts.MCVectors: %d is negative", c.EstOpts.MCVectors)
+	}
+	return nil
+}
+
+// Engine names recorded per corpus row when the degradation chain
+// replaced the configured probability engine.
+const (
+	// EngineDepthWeighted marks a row whose probabilities came from the
+	// limited-depth engine after the configured engine blew the BDD node
+	// budget.
+	EngineDepthWeighted = "depth-weighted"
+	// EngineMonteCarlo marks a row that fell all the way to Monte-Carlo
+	// probability estimation, which builds no BDDs and so cannot trip
+	// the node budget.
+	EngineMonteCarlo = "monte-carlo"
+)
+
+// degradeStage is one rung of the engine-degradation chain: an engine
+// name for the row record plus the configuration rewrite that selects
+// the cheaper engine.
+type degradeStage struct {
+	engine string
+	apply  func(*Config)
+}
+
+// degradeStages returns the chain for a configuration: just the
+// configured engine when no BDD node budget is set (nothing can trip),
+// otherwise configured → limited-depth → Monte-Carlo. The chain is a
+// pure function of the configuration, so which stage a circuit lands on
+// is deterministic — independent of Workers, shard geometry, or
+// scheduling.
+func degradeStages(cfg Config) []degradeStage {
+	stages := []degradeStage{{engine: ""}}
+	if cfg.BDDNodeBudget > 0 {
+		stages = append(stages,
+			degradeStage{EngineDepthWeighted, func(c *Config) { c.EstOpts.Method = power.LimitedDepth }},
+			degradeStage{EngineMonteCarlo, func(c *Config) { c.EstOpts.Method = power.MonteCarlo }},
+		)
+	}
+	return stages
+}
+
+// runDegraded drives one circuit down the degradation chain: each stage
+// runs under a fresh budget token attached to ctx, and only a BDD
+// node-budget trip advances to the next (cheaper) stage — cancellation
+// and real failures surface immediately. It returns the stage's result,
+// the engine name of the stage that produced it ("" = the configured
+// engine, untouched), and the total number of budget trips accumulated
+// across every attempted stage.
+func runDegraded[T any](ctx context.Context, cfg Config, run func(Config, *budget.T) (T, error)) (result T, engine string, trips int, err error) {
+	var zero T
+	stages := degradeStages(cfg)
+	for _, st := range stages {
+		scfg := cfg
+		if st.apply != nil {
+			st.apply(&scfg)
+		}
+		tok := budget.New(scfg.BDDNodeBudget, scfg.SimVectorBudget)
+		stop := tok.AttachContext(ctx)
+		result, err = run(scfg, tok)
+		stop()
+		trips += tok.Trips()
+		if err == nil {
+			return result, st.engine, trips, nil
+		}
+		if !errors.Is(err, budget.ErrBDDNodes) {
+			return zero, st.engine, trips, err
+		}
+	}
+	return zero, stages[len(stages)-1].engine, trips, err
+}
+
+// runCircuitDegraded executes the untimed or timed combinational flow on
+// one benchmark under ctx with the configured budgets and the
+// degradation chain.
+func runCircuitDegraded(ctx context.Context, c gen.NamedCircuit, cfg Config, timed bool) (*Row, string, int, error) {
+	cfg.defaults()
+	return runDegraded(ctx, cfg, func(scfg Config, tok *budget.T) (*Row, error) {
+		if timed {
+			return runCircuitTimed(c, scfg, tok)
+		}
+		return runCircuit(c, scfg, tok)
+	})
+}
+
+// runSequentialDegraded is runCircuitDegraded for the sequential flow.
+func runSequentialDegraded(ctx context.Context, c *seq.Circuit, cfg Config) (*SequentialRow, string, int, error) {
+	cfg.defaults()
+	return runDegraded(ctx, cfg, func(scfg Config, tok *budget.T) (*SequentialRow, error) {
+		return runSequential(c, scfg, tok)
+	})
+}

@@ -1,0 +1,165 @@
+package flow
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/power"
+)
+
+// TestConfigValidate: the zero config and the defaults validate; every
+// out-of-range field is rejected with an error naming that field.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate, got %v", err)
+	}
+	def := Config{}
+	def.defaults()
+	if err := def.Validate(); err != nil {
+		t.Fatalf("default config must validate, got %v", err)
+	}
+	cases := []struct {
+		field string
+		cfg   Config
+	}{
+		{"InputProb", Config{InputProb: 1.5}},
+		{"InputProb", Config{InputProb: -0.1}},
+		{"SimVectors", Config{SimVectors: -1}},
+		{"MaxPairs", Config{MaxPairs: -1}},
+		{"ExhaustiveLimit", Config{ExhaustiveLimit: -1}},
+		{"Slack", Config{Slack: -0.5}},
+		{"MaxCollapseSupport", Config{MaxCollapseSupport: -1}},
+		{"Workers", Config{Workers: -1}},
+		{"SimShards", Config{SimShards: -1}},
+		{"SimKernel", Config{SimKernel: 99}},
+		{"SimBlockWords", Config{SimBlockWords: 1 << 20}},
+		{"PhaseScoring", Config{PhaseScoring: 99}},
+		{"SearchStrategy", Config{SearchStrategy: 99}},
+		{"SearchRestarts", Config{SearchRestarts: -1}},
+		{"AnnealSteps", Config{AnnealSteps: -1}},
+		{"BDDNodeBudget", Config{BDDNodeBudget: -1}},
+		{"SimVectorBudget", Config{SimVectorBudget: -1}},
+		{"EstOpts.Method", Config{EstOpts: power.Options{Method: 99}}},
+		{"EstOpts.Depth", Config{EstOpts: power.Options{Depth: -1}}},
+		{"EstOpts.MaxFrontier", Config{EstOpts: power.Options{MaxFrontier: -1}}},
+		{"EstOpts.MCVectors", Config{EstOpts: power.Options{MCVectors: -1}}},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if err == nil {
+			t.Errorf("field %s: invalid config validated", c.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.field) {
+			t.Errorf("field %s: error %q does not name the field", c.field, err)
+		}
+	}
+}
+
+// TestDegradeStages: the chain exists only when a BDD node budget is
+// set, and its shape is a pure function of the config.
+func TestDegradeStages(t *testing.T) {
+	if got := degradeStages(Config{}); len(got) != 1 || got[0].engine != "" {
+		t.Errorf("no budget should mean a single configured-engine stage, got %d stages", len(got))
+	}
+	got := degradeStages(Config{BDDNodeBudget: 100})
+	want := []string{"", EngineDepthWeighted, EngineMonteCarlo}
+	if len(got) != len(want) {
+		t.Fatalf("budgeted chain has %d stages, want %d", len(got), len(want))
+	}
+	for i, st := range got {
+		if st.engine != want[i] {
+			t.Errorf("stage %d engine = %q, want %q", i, st.engine, want[i])
+		}
+	}
+}
+
+// TestDegradationChainCompletes is the headline robustness property: a
+// circuit whose exact-BDD probability engine blows the node budget still
+// completes with a non-error row, the row records which fallback engine
+// produced it, and the outcome is byte-identical across worker counts —
+// degradation is deterministic, not a race artifact.
+func TestDegradationChainCompletes(t *testing.T) {
+	c := smallCircuit()
+	base := Config{
+		SimVectors:    256,
+		EstOpts:       power.Options{Method: power.Exact},
+		BDDNodeBudget: 8, // far below what exact BDDs for 12 inputs need
+	}
+
+	type outcome struct {
+		row    *Row
+		engine string
+		trips  int
+	}
+	run := func(workers int) outcome {
+		cfg := base
+		cfg.Workers = workers
+		row, engine, trips, err := runCircuitDegraded(context.Background(), c, cfg, false)
+		if err != nil {
+			t.Fatalf("workers=%d: degraded run failed: %v", workers, err)
+		}
+		return outcome{row, engine, trips}
+	}
+
+	first := run(1)
+	if first.engine != EngineDepthWeighted && first.engine != EngineMonteCarlo {
+		t.Fatalf("expected a fallback engine, got %q", first.engine)
+	}
+	if first.trips == 0 {
+		t.Fatal("degraded run reports zero budget trips")
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		if got.engine != first.engine || got.trips != first.trips {
+			t.Errorf("workers=%d: engine/trips (%q, %d) differ from workers=1 (%q, %d)",
+				workers, got.engine, got.trips, first.engine, first.trips)
+		}
+		if !reflect.DeepEqual(got.row, first.row) {
+			t.Errorf("workers=%d: degraded row differs from workers=1:\n%+v\nvs\n%+v",
+				workers, got.row, first.row)
+		}
+	}
+}
+
+// TestUntrippedBudgetIsInvisible: with budgets far above what the
+// circuit needs, the degraded runner must produce exactly the row the
+// plain flow produces — engine empty, zero trips. This is the guarantee
+// that lets budgets default on without perturbing existing corpora.
+func TestUntrippedBudgetIsInvisible(t *testing.T) {
+	c := smallCircuit()
+	cfg := Config{SimVectors: 256}
+
+	plain, err := RunCircuit(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := cfg
+	bcfg.BDDNodeBudget = 1 << 30
+	bcfg.SimVectorBudget = 1 << 30
+	row, engine, trips, err := runCircuitDegraded(context.Background(), c, bcfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine != "" || trips != 0 {
+		t.Errorf("untripped budget changed the engine: engine=%q trips=%d", engine, trips)
+	}
+	if !reflect.DeepEqual(row, plain) {
+		t.Errorf("untripped budgeted row differs from the plain flow:\n%+v\nvs\n%+v", row, plain)
+	}
+}
+
+// TestDegradedRunCancellation: a cancelled context beats the degradation
+// chain — the run surfaces the cancellation instead of retrying cheaper
+// engines forever.
+func TestDegradedRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{SimVectors: 256, BDDNodeBudget: 8, EstOpts: power.Options{Method: power.Exact}}
+	_, _, _, err := runCircuitDegraded(ctx, smallCircuit(), cfg, false)
+	if err == nil {
+		t.Fatal("cancelled degraded run returned no error")
+	}
+}

@@ -3,6 +3,7 @@ package flow
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/phase"
 	"repro/internal/power"
 	"repro/internal/seq"
@@ -30,7 +31,12 @@ type SequentialRow struct {
 // the steady-state probabilities as block input probabilities.
 func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
 	cfg.defaults()
+	return runSequential(c, cfg, nil)
+}
 
+// runSequential is RunSequential under an optional cancellation/budget
+// token.
+func runSequential(c *seq.Circuit, cfg Config, tok *budget.T) (*SequentialRow, error) {
 	cut := c.Cut(sgraph.DefaultOptions())
 	part, err := c.Partition(cut)
 	if err != nil {
@@ -76,19 +82,19 @@ func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
 	// as the combinational flow (synthesizeMAAssignment /
 	// synthesizeMPAssignment), so sequential rows pick up cone-table
 	// scoring and the pluggable strategies with no duplicated logic.
-	maAsg, maRes, err := synthesizeMAAssignment(net, cfg)
+	maAsg, maRes, err := synthesizeMAAssignment(net, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("flow: sequential MA: %w", err)
 	}
-	ma, err := finishSynthesisProbs(maAsg, maRes, blockProbs, cfg)
+	ma, err := finishSynthesisProbs(maAsg, maRes, blockProbs, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("flow: sequential MA: %w", err)
 	}
-	mpAsg, mpRes, _, err := synthesizeMPAssignment(net, blockProbs, cfg)
+	mpAsg, mpRes, _, err := synthesizeMPAssignment(net, blockProbs, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("flow: sequential MP: %w", err)
 	}
-	mp, err := finishSynthesisProbs(mpAsg, mpRes, blockProbs, cfg)
+	mp, err := finishSynthesisProbs(mpAsg, mpRes, blockProbs, cfg, tok)
 	if err != nil {
 		return nil, fmt.Errorf("flow: sequential MP: %w", err)
 	}
@@ -104,19 +110,21 @@ func RunSequential(c *seq.Circuit, cfg Config) (*SequentialRow, error) {
 
 // finishSynthesisProbs is finishSynthesis with explicit per-input
 // probabilities (the sequential flow's pseudo-inputs are not uniform).
-func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float64, cfg Config) (*Synthesis, error) {
+func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float64, cfg Config, tok *budget.T) (*Synthesis, error) {
 	b, err := mapBlock(res, cfg)
 	if err != nil {
 		return nil, err
 	}
-	est, err := power.Estimate(b, probs, cfg.EstOpts)
+	estOpts := cfg.EstOpts
+	estOpts.Budget = tok
+	est, err := power.Estimate(b, probs, estOpts)
 	if err != nil {
 		return nil, err
 	}
 	rep, err := sim.Run(b, sim.Config{
 		Vectors: cfg.SimVectors, Seed: cfg.SimSeed, InputProbs: probs,
 		Shards: cfg.SimShards, Workers: cfg.Workers, Kernel: cfg.SimKernel,
-		BlockWords: cfg.SimBlockWords,
+		BlockWords: cfg.SimBlockWords, Budget: tok,
 	})
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/budget"
 	"repro/internal/logic"
 	"repro/internal/par"
 )
@@ -34,9 +35,13 @@ func reduceOutcomes(outcomes []searchOutcome) searchOutcome {
 // to the reached local minimum; the final score is returned. Each trial
 // flip costs one Flip (O(Δ) on the cone-table state) instead of a full
 // rescore.
-func descendState(st ScoreState, asg Assignment, score float64) float64 {
+func descendState(st ScoreState, asg Assignment, score float64, tok *budget.T) (float64, error) {
 	improved := true
 	for improved {
+		// One cancellation poll per sweep bounds the latency at k flips.
+		if err := tok.Err(); err != nil {
+			return 0, err
+		}
 		improved = false
 		for i := range asg {
 			if s := st.Flip(i); s < score {
@@ -48,7 +53,7 @@ func descendState(st ScoreState, asg Assignment, score float64) float64 {
 			}
 		}
 	}
-	return score
+	return score, nil
 }
 
 // greedyStarts generates the canonical restart set: the base start (the
@@ -86,14 +91,20 @@ func greedySearch(n *logic.Network, opts SearchOptions) (Assignment, *Result, fl
 	starts := greedyStarts(k, opts)
 	scorer := opts.searchScorer(n)
 	outcomes, err := par.Map(context.Background(), len(starts), opts.Workers,
-		func(_ context.Context, s int) (searchOutcome, error) {
+		func(ctx context.Context, s int) (searchOutcome, error) {
+			if err := pollCancel(ctx, opts.Budget); err != nil {
+				return searchOutcome{}, err
+			}
 			st := newState(scorer)
 			asg := starts[s]
 			score, err := st.Set(asg)
 			if err != nil {
 				return searchOutcome{}, err
 			}
-			score = descendState(st, asg, score)
+			score, err = descendState(st, asg, score, opts.Budget)
+			if err != nil {
+				return searchOutcome{}, err
+			}
 			if err := st.Err(); err != nil {
 				return searchOutcome{}, err
 			}
@@ -137,7 +148,7 @@ func annealSearch(n *logic.Network, opts SearchOptions) (Assignment, *Result, fl
 
 	const annealSeedStride = 0x9E3779B97F4A7C15 >> 1 // fixed odd-ish stride keeps chain seeds distinct
 	outcomes, err := par.Map(context.Background(), chains, opts.Workers,
-		func(_ context.Context, c int) (searchOutcome, error) {
+		func(ctx context.Context, c int) (searchOutcome, error) {
 			rng := rand.New(rand.NewSource(opts.Seed + int64(c)*annealSeedStride))
 			st := newState(scorer)
 			asg := make(Assignment, k)
@@ -172,6 +183,11 @@ func annealSearch(n *logic.Network, opts SearchOptions) (Assignment, *Result, fl
 			alpha := math.Pow(1e-3, 1/float64(steps))
 
 			for step := 0; step < steps; step++ {
+				if step&0xff == 0 {
+					if err := pollCancel(ctx, opts.Budget); err != nil {
+						return searchOutcome{}, err
+					}
+				}
 				bit := rng.Intn(k)
 				next := st.Flip(bit)
 				d := next - cur
@@ -194,7 +210,10 @@ func annealSearch(n *logic.Network, opts SearchOptions) (Assignment, *Result, fl
 			if err != nil {
 				return searchOutcome{}, err
 			}
-			score = descendState(st, bestAsg, score)
+			score, err = descendState(st, bestAsg, score, opts.Budget)
+			if err != nil {
+				return searchOutcome{}, err
+			}
 			if err := st.Err(); err != nil {
 				return searchOutcome{}, err
 			}

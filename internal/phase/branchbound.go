@@ -91,7 +91,7 @@ func branchBoundSearch(n *logic.Network, opts SearchOptions) (Assignment, *Resul
 
 	results, err := par.Map(context.Background(), 1<<uint(s), w,
 		func(ctx context.Context, sub int) (bbBest, error) {
-			if err := ctx.Err(); err != nil {
+			if err := pollCancel(ctx, opts.Budget); err != nil {
 				return bbBest{}, err
 			}
 			pb := bs.NewBound()
@@ -120,7 +120,7 @@ func branchBoundSearch(n *logic.Network, opts SearchOptions) (Assignment, *Resul
 					return nil
 				}
 				if d&7 == 0 {
-					if err := ctx.Err(); err != nil {
+					if err := pollCancel(ctx, opts.Budget); err != nil {
 						return err
 					}
 				}

@@ -68,7 +68,7 @@ func grayExhaustive(n *logic.Network, opts SearchOptions) (Assignment, *Result, 
 			best := grayBest{mask: grayMask(lo), score: score, ok: true}
 			for c := lo + 1; c < hi; c++ {
 				if c&0xfff == 0 {
-					if err := ctx.Err(); err != nil {
+					if err := pollCancel(ctx, opts.Budget); err != nil {
 						return grayBest{}, err
 					}
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/logic"
 	"repro/internal/prob"
 )
@@ -90,6 +91,10 @@ type PowerOptions struct {
 	SearchSeed     int64
 	SearchRestarts int
 	AnnealSteps    int
+	// Budget is the cancellation/budget token the search polls — per
+	// candidate pair on the pairwise heuristic, at each strategy's own
+	// bounded interval on the strategy path.
+	Budget *budget.T
 }
 
 // scoreResult scores an already synthesized assignment under the
@@ -146,6 +151,7 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 			Seed:        opts.SearchSeed,
 			Restarts:    opts.SearchRestarts,
 			AnnealSteps: opts.AnnealSteps,
+			Budget:      opts.Budget,
 		})
 		return asg, res, score, nil, err
 	}
@@ -231,6 +237,9 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 	}
 	pos := 0
 	for len(remaining) > 0 {
+		if err := opts.Budget.Err(); err != nil {
+			return nil, nil, 0, nil, err
+		}
 		// Find the best-ranked candidate whose pair is still live.
 		for pos < len(cands) && !remaining[pairKey{cands[pos].i, cands[pos].j}] {
 			pos++

@@ -4,9 +4,23 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/logic"
 	"repro/internal/par"
 )
+
+// pollCancel is the searches' shared cancellation poll: the shard
+// context (par.Map's first-error propagation) plus the caller's budget
+// token (per-circuit timeouts, client disconnects), each one cheap
+// atomic check. Every strategy polls it at a bounded interval — per
+// mask in the scans, per subtree batch in branch-and-bound, per sweep
+// or proposal batch in the heuristics.
+func pollCancel(ctx context.Context, tok *budget.T) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return tok.Err()
+}
 
 // Evaluator scores a synthesized block; lower is better. MinArea uses a
 // cell-count evaluator, MinPower a power estimate.
@@ -79,11 +93,11 @@ func (c *candidate) better(incumbent *candidate) bool {
 // best candidate of the range. ctx aborts the scan between masks. One
 // assignment buffer serves the whole range (Apply clones it into every
 // Result it returns).
-func scanMasks(ctx context.Context, n *logic.Network, eval Evaluator, k, lo, hi int) (*candidate, error) {
+func scanMasks(ctx context.Context, n *logic.Network, eval Evaluator, k, lo, hi int, tok *budget.T) (*candidate, error) {
 	var best *candidate
 	buf := make(Assignment, k)
 	for mask := lo; mask < hi; mask++ {
-		if err := ctx.Err(); err != nil {
+		if err := pollCancel(ctx, tok); err != nil {
 			return nil, err
 		}
 		buf.SetMask(mask)
@@ -122,6 +136,12 @@ func Exhaustive(n *logic.Network, eval Evaluator) (Assignment, *Result, float64,
 // winners are reduced in shard order under the same "lowest mask wins on
 // equal score" rule, so scheduling can never change the outcome.
 func ExhaustiveParallel(n *logic.Network, eval Evaluator, workers int) (Assignment, *Result, float64, error) {
+	return exhaustiveParallel(n, eval, workers, nil)
+}
+
+// exhaustiveParallel is ExhaustiveParallel under an optional
+// cancellation/budget token (polled per mask).
+func exhaustiveParallel(n *logic.Network, eval Evaluator, workers int, tok *budget.T) (Assignment, *Result, float64, error) {
 	k := n.NumOutputs()
 	if err := checkMaskWidth(k); err != nil {
 		return nil, nil, 0, err
@@ -136,7 +156,7 @@ func ExhaustiveParallel(n *logic.Network, eval Evaluator, workers int) (Assignme
 	ranges := par.SplitRange(total, w*4)
 	bests, err := par.Map(context.Background(), len(ranges), w,
 		func(ctx context.Context, s int) (*candidate, error) {
-			return scanMasks(ctx, n, eval, k, ranges[s][0], ranges[s][1])
+			return scanMasks(ctx, n, eval, k, ranges[s][0], ranges[s][1], tok)
 		})
 	if err != nil {
 		return nil, nil, 0, err
@@ -171,6 +191,12 @@ type scoredBest struct {
 // because ScoreAssignment is a pure function of the assignment, the
 // returned (assignment, score) is bit-identical for every worker count.
 func ExhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int) (Assignment, *Result, float64, error) {
+	return exhaustiveScored(n, scorer, workers, nil)
+}
+
+// exhaustiveScored is ExhaustiveScored under an optional
+// cancellation/budget token (polled per mask).
+func exhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int, tok *budget.T) (Assignment, *Result, float64, error) {
 	if scorer == nil {
 		return nil, nil, 0, fmt.Errorf("phase: ExhaustiveScored requires a scorer")
 	}
@@ -190,7 +216,7 @@ func ExhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int) (A
 			buf := make(Assignment, k)
 			var best scoredBest
 			for mask := ranges[s][0]; mask < ranges[s][1]; mask++ {
-				if err := ctx.Err(); err != nil {
+				if err := pollCancel(ctx, tok); err != nil {
 					return scoredBest{}, err
 				}
 				buf.SetMask(mask)
@@ -260,6 +286,11 @@ type SearchOptions struct {
 	// sequential). The result is identical for every worker count; Eval
 	// must be safe for concurrent use on distinct Results when > 1.
 	Workers int
+	// Budget is the cancellation/budget token every strategy polls at a
+	// bounded interval (per candidate mask, subtree, or proposal
+	// batch). A cancelled token aborts the search with its error. Nil
+	// means never cancelled. It does not alter results while live.
+	Budget *budget.T
 }
 
 func (o *SearchOptions) defaults() {

@@ -273,16 +273,16 @@ func Search(n *logic.Network, opts SearchOptions) (Assignment, *Result, float64,
 				if _, ok := opts.Scorer.(StateScorer); ok {
 					return grayExhaustive(n, opts)
 				}
-				return ExhaustiveScored(n, opts.Scorer, opts.Workers)
+				return exhaustiveScored(n, opts.Scorer, opts.Workers, opts.Budget)
 			}
-			return ExhaustiveParallel(n, opts.Eval, opts.Workers)
+			return exhaustiveParallel(n, opts.Eval, opts.Workers, opts.Budget)
 		}
 		return greedySearch(n, opts)
 	case StrategyExhaustive:
 		if opts.Scorer == nil {
 			// Without a scorer the gray walk has no incremental state to
 			// exploit; the sharded ascending scan is the same winner.
-			return ExhaustiveParallel(n, opts.Eval, opts.Workers)
+			return exhaustiveParallel(n, opts.Eval, opts.Workers, opts.Budget)
 		}
 		return grayExhaustive(n, opts)
 	case StrategyBranchBound:

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/domino"
 	"repro/internal/order"
 	"repro/internal/phase"
@@ -36,6 +37,12 @@ const (
 	// LimitedDepth uses bounded reconvergence analysis (Costa et al. [6])
 	// with Options.Depth and Options.MaxFrontier.
 	LimitedDepth
+	// MonteCarlo estimates probabilities by bit-parallel random
+	// simulation (Options.MCVectors vectors, Options.MCSeed). It builds
+	// no BDDs, so it can never trip the BDD node budget — the engine of
+	// last resort in the flow's degradation chain. Deterministic given
+	// (MCVectors, MCSeed).
+	MonteCarlo
 )
 
 // AutoExactInputLimit is the input-count threshold above which Auto
@@ -53,6 +60,16 @@ type Options struct {
 	// 16).
 	Depth       int
 	MaxFrontier int
+	// MCVectors and MCSeed parameterize MonteCarlo (default 2048
+	// vectors, seed 0). Both are semantic: they change the estimated
+	// probabilities deterministically.
+	MCVectors int
+	MCSeed    int64
+	// Budget is the cancellation/resource token every engine runs
+	// under: exact and limited-depth builds honor its BDD node cap and
+	// cancellation, MonteCarlo polls cancellation per window. Excluded
+	// from JSON so it never fragments content-addressed cache keys.
+	Budget *budget.T `json:"-"`
 }
 
 // Report breaks down the estimated power of a block.
@@ -91,14 +108,30 @@ func blockNodeProbs(mgr *bdd.Manager, b *domino.Block, inputProbs []float64, opt
 	}
 	numVars := len(inputProbs)
 	exact := opts.Method == Exact || (opts.Method == Auto && numVars <= AutoExactInputLimit)
-	if exact {
-		// Build BDDs over the *original* primary inputs: block input
-		// rails carrying a complemented signal become complemented
-		// literals of the same variable, so the shared-variable
-		// correlation between a signal and its inverted rail is exact.
+	if exact || opts.Method == MonteCarlo {
+		// Build over the *original* primary inputs: block input rails
+		// carrying a complemented signal become complemented literals of
+		// the same variable, so the shared-variable correlation between
+		// a signal and its inverted rail is exact (BDDs) or sampled from
+		// the same random word (MonteCarlo).
 		lits := make([]bdd.InputLit, len(b.Phase.Inputs))
 		for pos, bi := range b.Phase.Inputs {
 			lits[pos] = bdd.InputLit{Var: bi.InputPos, Neg: bi.Inverted}
+		}
+		if opts.Method == MonteCarlo {
+			nodeProbs, err := prob.MonteCarloLits(net, numVars, lits, inputProbs, opts.MCVectors, opts.MCSeed, opts.Budget)
+			if err != nil {
+				return nil, false, err
+			}
+			return nodeProbs, false, nil
+		}
+		if mgr == nil && opts.Budget != nil {
+			// The exact engine must build under the token; materialize
+			// the manager here so the budget can be attached.
+			mgr = bdd.New(numVars)
+		}
+		if mgr != nil {
+			mgr.SetBudget(opts.Budget)
 		}
 		ord := opts.Order
 		if ord == nil {
@@ -115,7 +148,11 @@ func blockNodeProbs(mgr *bdd.Manager, b *domino.Block, inputProbs []float64, opt
 		if depth <= 0 {
 			depth = 4
 		}
-		return prob.LimitedDepth(net, blockProbs, depth, opts.MaxFrontier), false, nil
+		nodeProbs, err := prob.LimitedDepthBudget(net, blockProbs, depth, opts.MaxFrontier, opts.Budget)
+		if err != nil {
+			return nil, false, err
+		}
+		return nodeProbs, false, nil
 	}
 	return prob.Approximate(net, blockProbs), false, nil
 }

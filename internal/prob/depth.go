@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bdd"
+	"repro/internal/budget"
 	"repro/internal/logic"
 )
 
@@ -19,6 +20,20 @@ import (
 // frontier exceeds it fall back to the correlation-free formula. Pass 0
 // for the default of 16.
 func LimitedDepth(n *logic.Network, inputProbs []float64, depth, maxFrontier int) []float64 {
+	p, err := LimitedDepthBudget(n, inputProbs, depth, maxFrontier, nil)
+	if err != nil {
+		// Unreachable with a nil token: only the token can abort.
+		panic(err)
+	}
+	return p
+}
+
+// LimitedDepthBudget is LimitedDepth under a cancellation/budget token:
+// the token is polled once per node, and each node's local cone build
+// runs under the token's BDD node budget (local BDDs are small by
+// construction, but a hostile depth/frontier combination can still blow
+// up). A tripped budget or cancellation aborts with the token's error.
+func LimitedDepthBudget(n *logic.Network, inputProbs []float64, depth, maxFrontier int, tok *budget.T) ([]float64, error) {
 	if len(inputProbs) != n.NumInputs() {
 		panic(fmt.Sprintf("prob: %d input probs for %d inputs", len(inputProbs), n.NumInputs()))
 	}
@@ -26,7 +41,7 @@ func LimitedDepth(n *logic.Network, inputProbs []float64, depth, maxFrontier int
 		maxFrontier = 16
 	}
 	if depth <= 0 {
-		return Approximate(n, inputProbs)
+		return Approximate(n, inputProbs), nil
 	}
 	p := make([]float64, n.NumNodes())
 	inPos := make(map[logic.NodeID]int, n.NumInputs())
@@ -36,6 +51,9 @@ func LimitedDepth(n *logic.Network, inputProbs []float64, depth, maxFrontier int
 	levels := n.Levels()
 
 	for i := 0; i < n.NumNodes(); i++ {
+		if err := tok.Err(); err != nil {
+			return nil, err
+		}
 		id := logic.NodeID(i)
 		node := n.Node(id)
 		switch node.Kind {
@@ -91,73 +109,79 @@ func LimitedDepth(n *logic.Network, inputProbs []float64, depth, maxFrontier int
 		// tiny (≤ maxFrontier variables, depth-capped), so hint the
 		// manager small instead of paying circuit-scale tables per node.
 		m := bdd.NewSized(len(frontierOrder), 4*(len(inCone)+len(frontierOrder)+1))
+		m.SetBudget(tok)
 		refs := make(map[logic.NodeID]bdd.Ref, len(inCone)+len(frontier))
-		for u, v := range frontier {
-			refs[u] = m.Var(v)
-		}
-		var build func(logic.NodeID) bdd.Ref
-		build = func(u logic.NodeID) bdd.Ref {
-			if r, ok := refs[u]; ok {
+		buildErr := bdd.CatchInterrupt(func() {
+			for u, v := range frontier {
+				refs[u] = m.Var(v)
+			}
+			var build func(logic.NodeID) bdd.Ref
+			build = func(u logic.NodeID) bdd.Ref {
+				if r, ok := refs[u]; ok {
+					return r
+				}
+				un := n.Node(u)
+				var r bdd.Ref
+				switch un.Kind {
+				case logic.KindBuf:
+					r = build(un.Fanins[0])
+				case logic.KindNot:
+					r = m.Not(build(un.Fanins[0]))
+				case logic.KindAnd:
+					r = bdd.True
+					for _, f := range un.Fanins {
+						r = m.And(r, build(f))
+					}
+				case logic.KindOr:
+					r = bdd.False
+					for _, f := range un.Fanins {
+						r = m.Or(r, build(f))
+					}
+				case logic.KindXor:
+					r = bdd.False
+					for _, f := range un.Fanins {
+						r = m.Xor(r, build(f))
+					}
+				default:
+					panic(fmt.Sprintf("prob: unexpected kind %s in cone", un.Kind))
+				}
+				refs[u] = r
 				return r
 			}
-			un := n.Node(u)
-			var r bdd.Ref
-			switch un.Kind {
+			// The node itself.
+			var root bdd.Ref
+			switch node.Kind {
 			case logic.KindBuf:
-				r = build(un.Fanins[0])
+				root = build(node.Fanins[0])
 			case logic.KindNot:
-				r = m.Not(build(un.Fanins[0]))
+				root = m.Not(build(node.Fanins[0]))
 			case logic.KindAnd:
-				r = bdd.True
-				for _, f := range un.Fanins {
-					r = m.And(r, build(f))
+				root = bdd.True
+				for _, f := range node.Fanins {
+					root = m.And(root, build(f))
 				}
 			case logic.KindOr:
-				r = bdd.False
-				for _, f := range un.Fanins {
-					r = m.Or(r, build(f))
+				root = bdd.False
+				for _, f := range node.Fanins {
+					root = m.Or(root, build(f))
 				}
 			case logic.KindXor:
-				r = bdd.False
-				for _, f := range un.Fanins {
-					r = m.Xor(r, build(f))
+				root = bdd.False
+				for _, f := range node.Fanins {
+					root = m.Xor(root, build(f))
 				}
-			default:
-				panic(fmt.Sprintf("prob: unexpected kind %s in cone", un.Kind))
 			}
-			refs[u] = r
-			return r
+			varProbs := make([]float64, len(frontierOrder))
+			for v, u := range frontierOrder {
+				varProbs[v] = p[u]
+			}
+			p[i] = m.Probability(root, varProbs)
+		})
+		if buildErr != nil {
+			return nil, buildErr
 		}
-		// The node itself.
-		var root bdd.Ref
-		switch node.Kind {
-		case logic.KindBuf:
-			root = build(node.Fanins[0])
-		case logic.KindNot:
-			root = m.Not(build(node.Fanins[0]))
-		case logic.KindAnd:
-			root = bdd.True
-			for _, f := range node.Fanins {
-				root = m.And(root, build(f))
-			}
-		case logic.KindOr:
-			root = bdd.False
-			for _, f := range node.Fanins {
-				root = m.Or(root, build(f))
-			}
-		case logic.KindXor:
-			root = bdd.False
-			for _, f := range node.Fanins {
-				root = m.Xor(root, build(f))
-			}
-		}
-		varProbs := make([]float64, len(frontierOrder))
-		for v, u := range frontierOrder {
-			varProbs[v] = p[u]
-		}
-		p[i] = m.Probability(root, varProbs)
 	}
-	return p
+	return p, nil
 }
 
 // localApprox applies the correlation-free formula to a single node from

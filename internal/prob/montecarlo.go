@@ -1,0 +1,122 @@
+package prob
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/budget"
+	"repro/internal/logic"
+)
+
+// Monte-Carlo signal-probability estimation: the engine of last resort
+// in the flow's degradation chain. It builds no BDDs at all — node
+// probabilities are estimated by bit-parallel random simulation
+// (logic.EvalWide over 64-cycle windows of packed Bernoulli draws, the
+// same dyadic-expansion generator internal/sim uses), so its cost is
+// O(vectors × gates) regardless of how pathological the circuit's BDDs
+// are, and it can never trip the BDD node budget. Results are a pure
+// function of (network, lits, varProbs, vectors, seed): deterministic,
+// worker-count independent, and therefore cacheable like every other
+// engine's rows.
+
+// mcBernoulliBits mirrors internal/sim's generator resolution;
+// duplicated rather than imported to keep prob free of a sim
+// dependency (the two streams need not match — only determinism and
+// the marginal probabilities matter here).
+const mcBernoulliBits = 30
+
+// mcPollWindows is how many 64-cycle windows pass between cancellation
+// polls of the budget token.
+const mcPollWindows = 16
+
+func mcBernoulliWord(rng *rand.Rand, p float64) uint64 {
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	q := uint32(p*(1<<mcBernoulliBits) + 0.5)
+	if p <= 0 || q == 0 {
+		return 0
+	}
+	if q >= 1<<mcBernoulliBits {
+		return ^uint64(0)
+	}
+	tz := uint(bits.TrailingZeros32(q))
+	q >>= tz
+	w := uint64(0)
+	for j := uint(0); j < mcBernoulliBits-tz; j++ {
+		r := rng.Uint64()
+		if q&1 == 1 {
+			w |= r
+		} else {
+			w &= r
+		}
+		q >>= 1
+	}
+	return w
+}
+
+// MonteCarloLits estimates the probability of every node of n over an
+// external variable space, mirroring ExactLitsIn's interface: input
+// position p of the network is the literal lits[p] (nil lits is the
+// identity mapping, requiring numVars == NumInputs), and varProbs gives
+// the Bernoulli probability of each variable. Because two inputs
+// mapped to the same variable draw from the same random word, rail
+// correlation is respected exactly as in the exact engine.
+//
+// vectors defaults to 2048 when non-positive. tok, when non-nil, is
+// polled every mcPollWindows windows for cancellation.
+func MonteCarloLits(n *logic.Network, numVars int, lits []bdd.InputLit, varProbs []float64, vectors int, seed int64, tok *budget.T) ([]float64, error) {
+	if lits != nil && len(lits) != n.NumInputs() {
+		return nil, fmt.Errorf("prob: %d literals for %d inputs", len(lits), n.NumInputs())
+	}
+	if lits == nil && numVars != n.NumInputs() {
+		return nil, fmt.Errorf("prob: identity literals need %d vars, got %d", n.NumInputs(), numVars)
+	}
+	if len(varProbs) != numVars {
+		return nil, fmt.Errorf("prob: %d var probs for %d vars", len(varProbs), numVars)
+	}
+	if vectors <= 0 {
+		vectors = 2048
+	}
+	rng := rand.New(rand.NewSource(seed))
+	varWords := make([]uint64, numVars)
+	inWords := make([]uint64, n.NumInputs())
+	scratch := make([]uint64, n.NumNodes())
+	counts := make([]int64, n.NumNodes())
+	for done, win := 0, 0; done < vectors; win++ {
+		if tok != nil && win%mcPollWindows == 0 {
+			if err := tok.Err(); err != nil {
+				return nil, err
+			}
+		}
+		width := vectors - done
+		if width > 64 {
+			width = 64
+		}
+		mask := ^uint64(0) >> (64 - uint(width))
+		for v := range varWords {
+			varWords[v] = mcBernoulliWord(rng, varProbs[v])
+		}
+		for pos := range inWords {
+			if lits == nil {
+				inWords[pos] = varWords[pos]
+			} else if lits[pos].Neg {
+				inWords[pos] = ^varWords[lits[pos].Var]
+			} else {
+				inWords[pos] = varWords[lits[pos].Var]
+			}
+		}
+		values := n.EvalWide(inWords, scratch)
+		for i, w := range values {
+			counts[i] += int64(bits.OnesCount64(w & mask))
+		}
+		done += width
+	}
+	p := make([]float64, n.NumNodes())
+	for i, c := range counts {
+		p[i] = float64(c) / float64(vectors)
+	}
+	return p, nil
+}

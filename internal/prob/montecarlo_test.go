@@ -1,0 +1,86 @@
+package prob
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/budget"
+	"repro/internal/logic"
+)
+
+func mcTestNet() *logic.Network {
+	n := logic.New("mc")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	n.MarkOutput("f", n.AddOr(n.AddAnd(a, b), n.AddXor(b, c)))
+	return n
+}
+
+// TestMonteCarloDeterministic: same (vectors, seed) → identical
+// probabilities; a different seed moves them.
+func TestMonteCarloDeterministic(t *testing.T) {
+	n := mcTestNet()
+	probs := []float64{0.5, 0.3, 0.7}
+	a, err := MonteCarloLits(n, 3, nil, probs, 4096, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloLits(n, 3, nil, probs, 4096, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d: %v vs %v on identical seeds", i, a[i], b[i])
+		}
+	}
+	c, err := MonteCarloLits(n, 3, nil, probs, 4096, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed change did not move any estimate")
+	}
+}
+
+// TestMonteCarloMatchesExact: estimates converge on the exact BDD
+// probabilities, including rail correlation through shared literals.
+func TestMonteCarloMatchesExact(t *testing.T) {
+	n := mcTestNet()
+	// Input positions 1 and 2 are the true and complemented rails of
+	// variable 1: correlation the naive estimator would miss.
+	lits := []bdd.InputLit{{Var: 0}, {Var: 1}, {Var: 1, Neg: true}}
+	varProbs := []float64{0.5, 0.25}
+	exact, err := ExactLitsIn(nil, n, 2, lits, varProbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloLits(n, 2, lits, varProbs, 1<<16, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if d := math.Abs(exact[i] - mc[i]); d > 0.02 {
+			t.Errorf("node %d: exact %.4f, mc %.4f (|Δ| = %.4f)", i, exact[i], mc[i], d)
+		}
+	}
+}
+
+// TestMonteCarloCancellation: a cancelled token aborts the run.
+func TestMonteCarloCancellation(t *testing.T) {
+	n := mcTestNet()
+	tok := budget.New(0, 0)
+	tok.Cancel(nil)
+	if _, err := MonteCarloLits(n, 3, nil, []float64{0.5, 0.5, 0.5}, 1<<20, 1, tok); !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}

@@ -72,10 +72,16 @@ func CorpusTable(title string, rows []*flow.CorpusRow) string {
 //	2 — adds timed_out (present only on rows whose error came from the
 //	    per-circuit timeout or from cancellation — the documented
 //	    non-deterministic rows, which internal/serve never caches).
+//	3 — adds engine and budget_trips (present only on rows the
+//	    resource-budget degradation chain touched: engine names the
+//	    fallback probability engine that produced the row, budget_trips
+//	    counts the BDD node-cap and sim vector-clamp trips across its
+//	    attempted stages). Rows no budget touched serialize byte-for-byte
+//	    as in version 2.
 //
 // dominod reports the version in the X-Dominod-Schema-Version response
 // header of its row streams; README.md documents the field list.
-const CorpusSchemaVersion = 2
+const CorpusSchemaVersion = 3
 
 // CorpusRecord is the flat JSONL projection of one corpus row — one
 // line per circuit, streamed while the batch runs. Size/power fields
@@ -96,6 +102,8 @@ type CorpusRecord struct {
 	Sequential     bool    `json:"sequential"`
 	Error          string  `json:"error,omitempty"`
 	TimedOut       bool    `json:"timed_out,omitempty"`
+	Engine         string  `json:"engine,omitempty"`
+	BudgetTrips    int     `json:"budget_trips,omitempty"`
 	PIs            int     `json:"pis"`
 	POs            int     `json:"pos"`
 	FFs            int     `json:"ffs"`
@@ -116,14 +124,16 @@ type CorpusRecord struct {
 // NewCorpusRecord projects a corpus row onto its JSONL schema.
 func NewCorpusRecord(r *flow.CorpusRow) CorpusRecord {
 	rec := CorpusRecord{
-		Index:      r.Index,
-		Name:       r.Name,
-		Path:       r.Path,
-		Format:     r.Format,
-		Sequential: r.Sequential,
-		Error:      r.Err,
-		TimedOut:   r.TimedOut,
-		WallSec:    r.WallSec,
+		Index:       r.Index,
+		Name:        r.Name,
+		Path:        r.Path,
+		Format:      r.Format,
+		Sequential:  r.Sequential,
+		Error:       r.Err,
+		TimedOut:    r.TimedOut,
+		Engine:      r.Engine,
+		BudgetTrips: r.BudgetTrips,
+		WallSec:     r.WallSec,
 	}
 	switch {
 	case r.Row != nil:

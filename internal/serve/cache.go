@@ -66,6 +66,12 @@ type cachedResult struct {
 	seqRow     *flow.SequentialRow
 	errText    string
 	format     string
+	// engine and budgetTrips record the degradation-chain stage that
+	// produced the row. Budget trips are deterministic (per-build node
+	// caps, pre-shard vector clamps), so degraded rows are cacheable —
+	// unlike timeouts.
+	engine      string
+	budgetTrips int
 }
 
 // rowCache is the content-addressed result cache: a bounded map from
@@ -107,11 +113,13 @@ func (c *rowCache) put(key [32]byte, r *flow.CorpusRow) {
 		delete(c.entries, oldest)
 	}
 	c.entries[key] = &cachedResult{
-		sequential: r.Sequential,
-		row:        r.Row,
-		seqRow:     r.SeqRow,
-		errText:    r.Err,
-		format:     r.Format,
+		sequential:  r.Sequential,
+		row:         r.Row,
+		seqRow:      r.SeqRow,
+		errText:     r.Err,
+		format:      r.Format,
+		engine:      r.Engine,
+		budgetTrips: r.BudgetTrips,
 	}
 	c.order = append(c.order, key)
 }

@@ -37,6 +37,9 @@ func TestCanonicalCoversEveryConfigField(t *testing.T) {
 		"MaxCollapseSupport": true, "SimShards": true, "PhaseScoring": true,
 		"SearchStrategy": true, "SearchRestarts": true, "SearchSeed": true,
 		"AnnealSteps": true,
+		// Budgets are semantic: tripping one changes which engine produced
+		// the row (CorpusRow.Engine) and the row's values — deterministically.
+		"BDDNodeBudget": true, "SimVectorBudget": true,
 	}
 	// Wall-clock knobs never change any result (the concurrency and
 	// packing contracts in internal/README.md), so Canonical must erase
@@ -123,6 +126,10 @@ func TestCacheKeySemanticChanges(t *testing.T) {
 		"AnnealSteps":        {AnnealSteps: 100},
 		"Lib":                {Lib: &lib},
 		"Timing":             {Timing: &tp},
+		"BDDNodeBudget":      {BDDNodeBudget: 5000},
+		"SimVectorBudget":    {SimVectorBudget: 1024},
+		"EstOpts.MCVectors":  {EstOpts: power.Options{Method: power.MonteCarlo, MCVectors: 4096}},
+		"EstOpts.MCSeed":     {EstOpts: power.Options{Method: power.MonteCarlo, MCSeed: 7}},
 	}
 	base := mustKey(t, flow.Config{}, false, keyFile)
 	keys := map[[32]byte]string{base: "base"}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/flow"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Fault-injection circuit-name prefixes, active only under
+// Options.FaultInjection. Each one maps a submitted circuit onto a
+// hostile behavior the daemon must survive: the chaos smoke
+// (dominod -faultsmoke) submits a mix of these alongside healthy
+// circuits and asserts the service stays live, drains cleanly, and
+// leaks no goroutines.
+const (
+	// faultPanicPrefix panics inside the per-circuit configuration hook
+	// — the corpus engine must isolate it into an error row.
+	faultPanicPrefix = "fault-panic"
+	// faultSlowPrefix inflates the measurement vector count so the
+	// circuit runs until the per-circuit timeout cancels it — the
+	// goroutine-leak scenario before cooperative cancellation.
+	faultSlowPrefix = "fault-slow"
+	// faultBDDBlowPrefix forces exact BDD probabilities under a node
+	// budget far too small for any real circuit, driving the row down
+	// the degradation chain.
+	faultBDDBlowPrefix = "fault-bddblow"
+)
+
+// faultConfigure is the per-circuit Configure hook installed by
+// Options.FaultInjection.
+func faultConfigure(c *corpus.Circuit, base flow.Config) flow.Config {
+	switch name := c.Entry.Name; {
+	case strings.HasPrefix(name, faultPanicPrefix):
+		panic("fault injection: configured panic in " + name)
+	case strings.HasPrefix(name, faultSlowPrefix):
+		// The scalar kernel plus an absurd vector count pins the circuit
+		// in the sim loop, which polls cancellation per window — the
+		// timeout must be what ends it.
+		base.SimVectors = 1 << 30
+		base.SimKernel = sim.KernelScalar
+	case strings.HasPrefix(name, faultBDDBlowPrefix):
+		base.EstOpts.Method = power.Exact
+		base.BDDNodeBudget = 8
+	}
+	return base
+}

@@ -5,6 +5,7 @@ import (
 	"archive/zip"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -54,8 +55,17 @@ type job struct {
 	circuits  []jobCircuit
 	submitted time.Time
 
+	// ctx is the job's cancellation scope: RunCorpus executes under it,
+	// so cancelling (DELETE /v1/jobs/{id}, or a rows stream opened with
+	// ?cancel=1 disconnecting) trips the per-circuit budget tokens and
+	// the running flow unwinds cooperatively. cancel is called with the
+	// cancellation cause, and unconditionally when the job finishes.
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
 	mu        sync.Mutex
 	state     string
+	cancelled bool
 	slots     []*flow.CorpusRow // filled out of order by cache hits + OnRow
 	lines     [][]byte          // serialized rows, always a contiguous prefix
 	next      int               // emission frontier into slots
@@ -74,6 +84,7 @@ func newJobID() string {
 }
 
 func newJob(circuits []jobCircuit, cfg flow.Config, cfgJSON []byte, timed bool) *job {
+	ctx, cancel := context.WithCancelCause(context.Background())
 	return &job{
 		id:        newJobID(),
 		timed:     timed,
@@ -81,10 +92,41 @@ func newJob(circuits []jobCircuit, cfg flow.Config, cfgJSON []byte, timed bool) 
 		cfgJSON:   cfgJSON,
 		circuits:  circuits,
 		submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
 		state:     StateQueued,
 		slots:     make([]*flow.CorpusRow, len(circuits)),
 		notify:    make(chan struct{}),
 	}
+}
+
+// requestCancel cancels a not-yet-done job with the given cause and
+// reports whether this call was the one that cancelled it (for the
+// cancellation counter — later calls and calls on done jobs are no-ops).
+func (j *job) requestCancel(cause error) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.cancelled {
+		return false
+	}
+	j.cancelled = true
+	j.cancel(cause)
+	j.broadcast()
+	return true
+}
+
+// unfilledSlots returns the indices still missing a row — after a
+// cancelled RunCorpus returns, these are the circuits that never ran.
+func (j *job) unfilledSlots() []int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var idx []int
+	for i, s := range j.slots {
+		if s == nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
 }
 
 // broadcast wakes every waiting streamer. Callers hold j.mu.
@@ -123,12 +165,15 @@ func (j *job) fill(i int, row *flow.CorpusRow) {
 	j.broadcast()
 }
 
-// finish marks the job done. All slots must already be filled.
+// finish marks the job done. All slots must already be filled. The
+// job's context is released unconditionally so no cancel arrangement
+// outlives the job.
 func (j *job) finish() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateDone
 	j.wallSec = time.Since(j.submitted).Seconds()
+	j.cancel(nil)
 	j.broadcast()
 }
 
@@ -137,6 +182,7 @@ type jobStatus struct {
 	ID         string  `json:"id"`
 	State      string  `json:"state"`
 	Timed      bool    `json:"timed"`
+	Cancelled  bool    `json:"cancelled,omitempty"`
 	Circuits   int     `json:"circuits"`
 	Completed  int     `json:"completed"`
 	Failed     int     `json:"failed"`
@@ -154,6 +200,7 @@ func (j *job) status() jobStatus {
 		ID:         j.id,
 		State:      j.state,
 		Timed:      j.timed,
+		Cancelled:  j.cancelled,
 		Circuits:   len(j.circuits),
 		Completed:  j.next,
 		Failed:     j.failed,
@@ -168,14 +215,16 @@ func (j *job) status() jobStatus {
 // cachedCorpusRow reattaches submission metadata to a cached result.
 func cachedCorpusRow(index int, c jobCircuit, hit *cachedResult) *flow.CorpusRow {
 	return &flow.CorpusRow{
-		Index:      index,
-		Name:       c.name,
-		Path:       c.relPath,
-		Format:     hit.format,
-		Sequential: hit.sequential,
-		Row:        hit.row,
-		SeqRow:     hit.seqRow,
-		Err:        hit.errText,
+		Index:       index,
+		Name:        c.name,
+		Path:        c.relPath,
+		Format:      hit.format,
+		Sequential:  hit.sequential,
+		Row:         hit.row,
+		SeqRow:      hit.seqRow,
+		Err:         hit.errText,
+		Engine:      hit.engine,
+		BudgetTrips: hit.budgetTrips,
 		// WallSec ~0: a cache hit does no flow work. Wall-clock is
 		// outside the deterministic row contract either way.
 	}
@@ -194,8 +243,10 @@ func badRequest(format string, args ...any) *submitError {
 }
 
 // parseConfig strictly decodes a JSON flow.Config (unknown fields are
-// rejected so typos fail loudly instead of silently running defaults).
-// An empty body means the zero config — all defaults.
+// rejected so typos fail loudly instead of silently running defaults)
+// and validates its ranges, so an impossible configuration is a
+// structured 400 naming the offending field instead of a mid-job
+// failure. An empty body means the zero config — all defaults.
 func parseConfig(raw []byte) (flow.Config, error) {
 	var cfg flow.Config
 	if len(bytes.TrimSpace(raw)) == 0 {
@@ -205,6 +256,9 @@ func parseConfig(raw []byte) (flow.Config, error) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
 		return cfg, badRequest("bad config JSON: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, badRequest("invalid config: %v", err)
 	}
 	return cfg, nil
 }

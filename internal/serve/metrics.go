@@ -22,6 +22,11 @@ type metrics struct {
 	cacheHits        atomic.Int64
 	cacheMisses      atomic.Int64
 	flowRuns         atomic.Int64 // times the flow was actually entered (RunCorpus calls)
+	jobsCancelled    atomic.Int64 // DELETE /v1/jobs/{id} or ?cancel=1 disconnects that took effect
+	rowsTimedOut     atomic.Int64 // rows whose error was a timeout/cancellation
+	rowsDegradedBDD  atomic.Int64 // rows completed on the depth-weighted fallback stage
+	rowsDegradedMC   atomic.Int64 // rows completed on the Monte-Carlo fallback stage
+	budgetTrips      atomic.Int64 // resource-budget trips summed over emitted rows
 }
 
 // write renders the counter set. queued/cacheLen/draining/uptime are
@@ -40,9 +45,14 @@ func (m *metrics) write(w io.Writer, queued, cacheLen int, draining bool, uptime
 	counter("dominod_jobs_rejected_draining_total", "submissions rejected 503 (draining)", m.rejectedDraining.Load())
 	gauge("dominod_jobs_queued", "jobs waiting in the bounded queue", float64(queued))
 	gauge("dominod_jobs_running", "jobs currently executing", float64(m.jobsRunning.Load()))
+	counter("dominod_jobs_cancelled_total", "jobs cancelled by DELETE or a ?cancel=1 stream disconnect", m.jobsCancelled.Load())
 	rows := m.rowsTotal.Load()
 	counter("dominod_rows_total", "result rows emitted (cache hits included)", rows)
 	counter("dominod_rows_failed_total", "result rows carrying an error", m.rowsFailed.Load())
+	counter("dominod_rows_timed_out_total", "result rows whose error was a timeout or cancellation", m.rowsTimedOut.Load())
+	counter("dominod_rows_degraded_depth_total", "rows completed on the depth-weighted fallback engine", m.rowsDegradedBDD.Load())
+	counter("dominod_rows_degraded_mc_total", "rows completed on the Monte-Carlo fallback engine", m.rowsDegradedMC.Load())
+	counter("dominod_budget_trips_total", "resource-budget trips (BDD node caps, sim vector clamps) summed over rows", m.budgetTrips.Load())
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	counter("dominod_cache_hits_total", "circuits served from the content-addressed cache", hits)
 	counter("dominod_cache_misses_total", "circuits that had to run the flow", misses)

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitStatus polls GET /v1/jobs/{id} until pred accepts the status (or
+// the deadline passes).
+func waitStatus(t *testing.T, base, id string, pred func(jobStatus) bool) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := decodeStatus(t, resp)
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached the expected status; last: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func deleteJob(t *testing.T, base, id string) jobStatus {
+	t.Helper()
+	req, err := http.NewRequest("DELETE", base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("DELETE: status %d", resp.StatusCode)
+	}
+	return decodeStatus(t, resp)
+}
+
+// TestConfigValidationRejections: impossible configurations are a
+// structured 400 at the submit boundary, and the error body names the
+// offending field — table-driven over the range checks flow.Config
+// .Validate performs.
+func TestConfigValidationRejections(t *testing.T) {
+	_, ts := testServer(t, Options{})
+	cases := []struct {
+		name  string
+		cfg   string
+		field string
+	}{
+		{"negative SimShards", `{"SimShards":-1}`, "SimShards"},
+		{"negative SimVectors", `{"SimVectors":-5}`, "SimVectors"},
+		{"negative Workers", `{"Workers":-2}`, "Workers"},
+		{"InputProb above 1", `{"InputProb":1.5}`, "InputProb"},
+		{"InputProb negative", `{"InputProb":-0.25}`, "InputProb"},
+		{"unknown SimKernel", `{"SimKernel":9}`, "SimKernel"},
+		{"oversized SimBlockWords", `{"SimBlockWords":99}`, "SimBlockWords"},
+		{"unknown SearchStrategy", `{"SearchStrategy":12}`, "SearchStrategy"},
+		{"unknown PhaseScoring", `{"PhaseScoring":7}`, "PhaseScoring"},
+		{"unknown EstOpts.Method", `{"EstOpts":{"Method":42}}`, "EstOpts.Method"},
+		{"negative BDDNodeBudget", `{"BDDNodeBudget":-1}`, "BDDNodeBudget"},
+		{"negative SimVectorBudget", `{"SimVectorBudget":-8}`, "SimVectorBudget"},
+		{"negative AnnealSteps", `{"AnnealSteps":-3}`, "AnnealSteps"},
+	}
+	for _, c := range cases {
+		resp := postRaw(t, ts.URL, "c.blif", []byte(tinyBLIF), c.cfg, "")
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("%s: non-JSON error body %q", c.name, body)
+			continue
+		}
+		if !strings.Contains(e.Error, c.field) {
+			t.Errorf("%s: error %q does not name field %q", c.name, e.Error, c.field)
+		}
+	}
+}
+
+// TestCancelRunningJob: DELETE /v1/jobs/{id} on a job pinned in the sim
+// loop cancels it through the cooperative budget token — the job reaches
+// done with timed-out (uncached) rows instead of wedging the worker.
+func TestCancelRunningJob(t *testing.T) {
+	s, ts := testServer(t, Options{FaultInjection: true, FlowWorkers: 1})
+	st := decodeStatus(t, postRaw(t, ts.URL, "fault-slow.blif", []byte(tinyBLIF), testCfgJSON, ""))
+	waitStatus(t, ts.URL, st.ID, func(s jobStatus) bool { return s.State == StateRunning })
+	del := deleteJob(t, ts.URL, st.ID)
+	if !del.Cancelled {
+		t.Errorf("DELETE response not marked cancelled: %+v", del)
+	}
+	waitStatus(t, ts.URL, st.ID, func(s jobStatus) bool { return s.State == StateDone })
+	recs := fetchRows(t, ts.URL, st.ID)
+	if len(recs) != 1 || !recs[0].TimedOut || recs[0].Error == "" {
+		t.Fatalf("cancelled job should yield a timed-out row, got %+v", recs)
+	}
+	if n := s.m.jobsCancelled.Load(); n != 1 {
+		t.Errorf("jobsCancelled = %d, want 1", n)
+	}
+	// Cancelling a done job is a no-op.
+	deleteJob(t, ts.URL, st.ID)
+	if n := s.m.jobsCancelled.Load(); n != 1 {
+		t.Errorf("second DELETE bumped jobsCancelled to %d", n)
+	}
+}
+
+// TestCancelQueuedJob: a job cancelled while still waiting in the queue
+// never enters the flow; the worker answers its slots with cancellation
+// rows and the job completes normally.
+func TestCancelQueuedJob(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := testServer(t, Options{JobWorkers: 1})
+	s.beforeJob = func(*job) { <-release }
+	stA := decodeStatus(t, postRaw(t, ts.URL, "a.blif", []byte(tinyBLIF), testCfgJSON, ""))
+	stB := decodeStatus(t, postRaw(t, ts.URL, "b.blif", []byte(tinyBLIF+"\n"), testCfgJSON, ""))
+	del := deleteJob(t, ts.URL, stB.ID)
+	if !del.Cancelled {
+		t.Errorf("queued job not marked cancelled: %+v", del)
+	}
+	close(release)
+	waitStatus(t, ts.URL, stA.ID, func(s jobStatus) bool { return s.State == StateDone })
+	waitStatus(t, ts.URL, stB.ID, func(s jobStatus) bool { return s.State == StateDone })
+	recsA := fetchRows(t, ts.URL, stA.ID)
+	if len(recsA) != 1 || recsA[0].Error != "" {
+		t.Fatalf("uncancelled job should complete cleanly, got %+v", recsA)
+	}
+	recsB := fetchRows(t, ts.URL, stB.ID)
+	if len(recsB) != 1 || !recsB[0].TimedOut ||
+		!strings.Contains(recsB[0].Error, "cancelled by client") {
+		t.Fatalf("cancelled queued job should yield cancellation rows, got %+v", recsB)
+	}
+	if s.FlowRuns() != 1 {
+		t.Errorf("cancelled queued job entered the flow (%d runs, want 1)", s.FlowRuns())
+	}
+}
+
+// TestRowsStreamDisconnectCancels: a rows stream opened with ?cancel=1
+// owns the job — the client going away cancels it.
+func TestRowsStreamDisconnectCancels(t *testing.T) {
+	s, ts := testServer(t, Options{FaultInjection: true, FlowWorkers: 1})
+	st := decodeStatus(t, postRaw(t, ts.URL, "fault-slow.blif", []byte(tinyBLIF), testCfgJSON, ""))
+	waitStatus(t, ts.URL, st.ID, func(s jobStatus) bool { return s.State == StateRunning })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+st.ID+"/rows?cancel=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel() // simulate the client going away mid-stream
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	fin := waitStatus(t, ts.URL, st.ID, func(s jobStatus) bool { return s.State == StateDone })
+	if !fin.Cancelled {
+		t.Errorf("disconnect did not cancel the job: %+v", fin)
+	}
+	if n := s.m.jobsCancelled.Load(); n != 1 {
+		t.Errorf("jobsCancelled = %d, want 1", n)
+	}
+}
+
+// TestBudgetDegradedRowCachedWithEngine: a fault-injected circuit that
+// blows its BDD node budget completes on a fallback engine with a
+// non-error row; the row records the engine and budget trips, is
+// cacheable (deterministic), and the cache round-trips both fields.
+func TestBudgetDegradedRowCachedWithEngine(t *testing.T) {
+	s, ts := testServer(t, Options{FaultInjection: true, FlowWorkers: 1})
+	st := decodeStatus(t, postRaw(t, ts.URL, "fault-bddblow.blif", []byte(tinyBLIF), testCfgJSON, ""))
+	recs := fetchRows(t, ts.URL, st.ID)
+	if len(recs) != 1 || recs[0].Error != "" {
+		t.Fatalf("degraded circuit should complete without error, got %+v", recs)
+	}
+	if recs[0].Engine == "" || recs[0].BudgetTrips == 0 {
+		t.Fatalf("degraded row must record engine and trips, got %+v", recs[0])
+	}
+	st2 := decodeStatus(t, postRaw(t, ts.URL, "fault-bddblow.blif", []byte(tinyBLIF), testCfgJSON, ""))
+	recs2 := fetchRows(t, ts.URL, st2.ID)
+	if runs := s.FlowRuns(); runs != 1 {
+		t.Errorf("degraded row was not served from cache (%d flow runs, want 1)", runs)
+	}
+	if recs2[0].Engine != recs[0].Engine || recs2[0].BudgetTrips != recs[0].BudgetTrips {
+		t.Errorf("cache dropped degradation metadata: first %+v, cached %+v", recs[0], recs2[0])
+	}
+
+	// The metrics endpoint reflects the degradation counters.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"dominod_jobs_cancelled_total 0",
+		"dominod_budget_trips_total",
+		"dominod_rows_degraded_depth_total",
+		"dominod_rows_degraded_mc_total",
+		"dominod_rows_timed_out_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -19,10 +19,14 @@
 //     rejected with 429 and a Retry-After hint instead of accumulating
 //     unbounded state; fully cached submissions bypass the queue and
 //     complete at submit time.
-//   - Graceful drain. On Drain (SIGTERM in the daemon) the server stops
-//     accepting work (503, /readyz not ready), finishes every queued and
-//     running job — per-circuit timeouts keep that bounded via the PR 5
-//     abandonment semantics — and only then lets the process exit.
+//   - Graceful drain and real cancellation. On Drain (SIGTERM in the
+//     daemon) the server stops accepting work (503, /readyz not ready),
+//     finishes every queued and running job, and only then lets the
+//     process exit. Per-circuit timeouts, DELETE /v1/jobs/{id}, and
+//     client disconnects from ?cancel=1 row streams all cancel through
+//     the cooperative budget token the flow polls (internal/budget), so
+//     the worker goroutine exits — nothing is abandoned and the
+//     goroutine count stays flat under sustained timeouts.
 //
 // See docs/api.md for the endpoint reference and docs/architecture.md
 // for how the service sits on the synthesis pipeline.
@@ -63,8 +67,9 @@ type Options struct {
 	// flow is pinned to a single worker, exactly like cmd/dominoflow, so
 	// JobWorkers x FlowWorkers is the box's circuit concurrency.
 	FlowWorkers int
-	// CircuitTimeout caps one circuit's wall-clock (0 = none) — the
-	// per-job timeout reusing the corpus engine's abandonment semantics.
+	// CircuitTimeout caps one circuit's wall-clock (0 = none) via the
+	// corpus engine's cooperative cancellation: the circuit's goroutine
+	// observes the tripped budget token and exits.
 	CircuitTimeout time.Duration
 	// CacheEntries bounds the content-addressed result cache (0 =
 	// default 4096; negative disables caching).
@@ -76,6 +81,12 @@ type Options struct {
 	// MaxJobs bounds retained job metadata; the oldest *done* jobs are
 	// evicted beyond it (default 16384).
 	MaxJobs int
+	// FaultInjection, when set, interprets magic circuit-name prefixes
+	// (fault-panic, fault-slow, fault-bddblow) as per-circuit fault
+	// configurations — the chaos-smoke harness (dominod -faultsmoke) and
+	// the robustness tests use it to drive hostile work through the real
+	// flow. Never enable it on a real service.
+	FaultInjection bool
 }
 
 func (o *Options) defaults() {
@@ -137,6 +148,7 @@ func NewServer(opts Options) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/rows", s.handleRows)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -346,6 +358,18 @@ func (s *Server) countRow(row *flow.CorpusRow) {
 	if row.Err != "" {
 		s.m.rowsFailed.Add(1)
 	}
+	if row.TimedOut {
+		s.m.rowsTimedOut.Add(1)
+	}
+	switch row.Engine {
+	case flow.EngineDepthWeighted:
+		s.m.rowsDegradedBDD.Add(1)
+	case flow.EngineMonteCarlo:
+		s.m.rowsDegradedMC.Add(1)
+	}
+	if row.BudgetTrips > 0 {
+		s.m.budgetTrips.Add(int64(row.BudgetTrips))
+	}
 }
 
 // finishJob finalizes metrics and state for a job whose slots are full.
@@ -369,6 +393,15 @@ func (s *Server) finishJob(j *job) {
 func (s *Server) runJob(j *job) {
 	s.m.jobsRunning.Add(1)
 	defer s.m.jobsRunning.Add(-1)
+
+	// A job cancelled while still queued never enters the flow: its
+	// unfilled slots become cancellation rows and the job completes, so
+	// streams and drain see a normal done state.
+	if j.ctx.Err() != nil {
+		s.fillCancelledSlots(j)
+		s.finishJob(j)
+		return
+	}
 	j.setState(StateRunning)
 
 	type miss struct{ global int }
@@ -415,8 +448,7 @@ func (s *Server) runJob(j *job) {
 	// convention): concurrency lives at the circuit and job grains.
 	base := j.cfg
 	base.Workers = 1
-	s.m.flowRuns.Add(1)
-	_, _ = flow.RunCorpus(context.Background(), entries, flow.CorpusConfig{
+	cc := flow.CorpusConfig{
 		Base:    base,
 		Timed:   j.timed,
 		Workers: s.opts.FlowWorkers,
@@ -430,8 +462,54 @@ func (s *Server) runJob(j *job) {
 			s.countRow(&row)
 			j.fill(g, &row)
 		},
-	})
+	}
+	if s.opts.FaultInjection {
+		cc.Configure = faultConfigure
+	}
+	s.m.flowRuns.Add(1)
+	// RunCorpus runs under the job's context: cancellation trips the
+	// per-circuit budget tokens, running circuits unwind into
+	// cancellation rows, and circuits that never started are answered
+	// below — the job always reaches done with every slot filled.
+	_, _ = flow.RunCorpus(j.ctx, entries, cc)
+	if j.ctx.Err() != nil {
+		s.fillCancelledSlots(j)
+	}
 	s.finishJob(j)
+}
+
+// fillCancelledSlots answers every still-unfilled slot of a cancelled
+// job with a cancellation row (TimedOut set, so nothing is cached).
+func (s *Server) fillCancelledSlots(j *job) {
+	cause := context.Cause(j.ctx)
+	if cause == nil {
+		cause = context.Canceled
+	}
+	for _, i := range j.unfilledSlots() {
+		c := &j.circuits[i]
+		row := &flow.CorpusRow{
+			Index: i, Name: c.name, Path: c.relPath, Format: c.format.String(),
+			Err: cause.Error(), TimedOut: true,
+		}
+		s.countRow(row)
+		j.fill(i, row)
+	}
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}: cancel a queued or
+// running job. Running circuits unwind cooperatively into cancellation
+// rows; circuits that never started are answered with cancellation rows
+// when the worker reaches the job. Cancelling a done job is a no-op.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %s", r.PathValue("id"))
+		return
+	}
+	if j.requestCancel(errors.New("cancelled by client")) {
+		s.m.jobsCancelled.Add(1)
+	}
+	writeJSON(w, http.StatusOK, j.status())
 }
 
 // handleStatus implements GET /v1/jobs/{id}.
@@ -447,17 +525,32 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 // handleRows implements GET /v1/jobs/{id}/rows: stream the job's JSONL
 // rows in index order, flushing each batch, and hold the connection open
 // until the job completes (or the client goes away). A finished job's
-// rows remain fetchable for as long as the job is retained.
+// rows remain fetchable for as long as the job is retained. With
+// ?cancel=1 the stream owns the job: the client disconnecting before
+// the job is done cancels it, so abandoned interactive sessions release
+// their compute.
 func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookupJob(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %s", r.PathValue("id"))
 		return
 	}
+	cancelOnDisconnect := false
+	if q := r.URL.Query().Get("cancel"); q != "" {
+		if v, err := strconv.ParseBool(q); err == nil {
+			cancelOnDisconnect = v
+		}
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Dominod-Schema-Version", strconv.Itoa(report.CorpusSchemaVersion))
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers to the wire now: a ?cancel=1 client must be
+		// able to open the stream (and later disconnect) while the job is
+		// still running and no rows exist to force a flush.
+		flusher.Flush()
+	}
 	cursor := 0
 	for {
 		j.mu.Lock()
@@ -480,6 +573,11 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-wait:
 		case <-r.Context().Done():
+			if cancelOnDisconnect {
+				if j.requestCancel(errors.New("rows stream client disconnected")) {
+					s.m.jobsCancelled.Add(1)
+				}
+			}
 			return
 		}
 	}

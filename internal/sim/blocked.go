@@ -165,7 +165,7 @@ func runShardBlockedGeneric(ctx context.Context, b *domino.Block, cfg Config, p 
 
 	numWin := (vectors + simWindow - 1) / simWindow
 	for base := 0; base < numWin; base += bw {
-		if err := ctx.Err(); err != nil {
+		if err := pollCancel(ctx, cfg.Budget); err != nil {
 			return nil, err
 		}
 		nw := numWin - base

@@ -399,7 +399,7 @@ func runShardBlocked8(ctx context.Context, b *domino.Block, cfg Config, p *block
 
 	numWin := (vectors + simWindow - 1) / simWindow
 	for base := 0; base < numWin; base += bw {
-		if err := ctx.Err(); err != nil {
+		if err := pollCancel(ctx, cfg.Budget); err != nil {
 			return nil, err
 		}
 		nw := numWin - base

@@ -31,6 +31,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"repro/internal/budget"
 	"repro/internal/domino"
 	"repro/internal/logic"
 	"repro/internal/par"
@@ -121,6 +122,17 @@ func packInputs(rng *rand.Rand, probs []float64, words []uint64) {
 	}
 }
 
+// pollCancel is the kernels' shared cancellation poll: the shard
+// context (par.Map's first-error propagation) plus the run's budget
+// token (external cancellation: per-circuit timeouts, client
+// disconnects). Both are one cheap atomic check.
+func pollCancel(ctx context.Context, tok *budget.T) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return tok.Err()
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// Vectors is the number of evaluate cycles (default 4096).
@@ -164,6 +176,12 @@ type Config struct {
 	// zero under the scalar and wide kernels. Stats is an out-parameter
 	// only; it never influences the Report.
 	Stats *KernelStats
+	// Budget is the cancellation/resource token the run honors: the
+	// vector count is clamped to the token's sim vector budget before
+	// sharding (a pure min, so the clamp is independent of Workers and
+	// Shards), and every kernel polls the token for cancellation at its
+	// existing context poll sites. Nil means unlimited.
+	Budget *budget.T
 }
 
 // Report summarizes measured activity. Power figures are in switched-
@@ -337,7 +355,7 @@ func runShardScalar(ctx context.Context, b *domino.Block, cfg Config, p *blockPa
 
 	for done := 0; done < vectors; done += simWindow {
 		if done%1024 == 0 {
-			if err := ctx.Err(); err != nil {
+			if err := pollCancel(ctx, cfg.Budget); err != nil {
 				return nil, err
 			}
 		}
@@ -432,7 +450,7 @@ func runShardWide(ctx context.Context, b *domino.Block, cfg Config, p *blockPara
 
 	for done := 0; done < vectors; done += simWindow {
 		if done%1024 == 0 {
-			if err := ctx.Err(); err != nil {
+			if err := pollCancel(ctx, cfg.Budget); err != nil {
 				return nil, err
 			}
 		}
@@ -530,6 +548,7 @@ func Run(b *domino.Block, cfg Config) (*Report, error) {
 	if vectors <= 0 {
 		vectors = 4096
 	}
+	vectors = cfg.Budget.CapSimVectors(vectors)
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
