@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench kernelbench conebench searchbench satbench corpussmoke servesmoke faultsmoke loadtest lint docgate fmt benchsuite
+.PHONY: all build test race bench kernelbench conebench searchbench satbench reorderbench corpussmoke servesmoke faultsmoke loadtest lint docgate fmt benchsuite
 
 all: lint build test
 
@@ -53,6 +53,18 @@ searchbench:
 # gate evaluations on the low-activity twin.
 satbench:
 	$(GO) run ./cmd/benchsuite -satbench-out BENCH_7.json
+
+# BDD reordering benchmark: the Table-1 corpus plus the x4 twin under
+# the default exact-engine node budget with in-place dynamic reordering
+# (Rudell sifting), persisted as BENCH_9.json (uploaded as a CI
+# artifact). Exits non-zero if any corpus row differs across worker
+# counts {1,2,8}, if the largest circuit completing on the exact engine
+# does not beat x3's 235 PIs, if fewer than two of BENCH_8's degraded
+# Table-1 circuits are rescued to exact-sifted on the frontier ladder,
+# or if a resubmission of the corpus re-enters the flow instead of
+# hitting the content-addressed cache.
+reorderbench:
+	$(GO) run ./cmd/benchsuite -reorder-bench-out BENCH_9.json
 
 # Corpus smoke: emit the small public twins as BLIF, stream the
 # directory through the concurrent corpus engine (untimed and timed

@@ -37,6 +37,18 @@
 // fails below 3x blocked-over-wide on x1 or a 0.5 low-activity skip
 // rate.
 //
+// With -reorder-bench-out PATH it runs the ISSUE 9 in-place BDD
+// reordering benchmark: the Table-1 twins plus the 288-input x4 twin
+// under the BENCH_8 budgeted configuration across per-circuit worker
+// counts {1,2,8} (rows must be bit-identical modulo wall-clock), a
+// reorder-off control, the frontier ladder on which x3 and Industry 2
+// complete exact-sifted at budgets where the reorder-free chain still
+// degrades them, and a cache round-trip through an in-process dominod.
+// Writes PATH (BENCH_9.json in CI); fails if the largest exact
+// completion does not beat x3's 235 PIs at the default budget, if
+// fewer than two Table-1 circuits are rescued, or if the resubmission
+// re-enters the flow.
+//
 // -cpuprofile / -memprofile write pprof profiles of any mode.
 package main
 
@@ -132,6 +144,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "kernel-benchmark mode: measure the scalar vs bit-parallel sim kernels and the BDD engine, write the JSON record to this path (e.g. BENCH_2.json), and exit without sweeping")
 	coneBenchOut := flag.String("cone-bench-out", "", "cone-table benchmark mode: measure the cached-cone exhaustive phase search against the naive per-mask Apply+Estimate path on the synth12 twin, verify both agree and that the winner is worker-invariant, write the JSON record to this path (e.g. BENCH_3.json), and exit without sweeping")
 	searchBenchOut := flag.String("search-bench-out", "", "search-strategy benchmark mode: measure per-candidate full rescore vs incremental gray-code Flip on the synth12 twin (>=10x gate), verify gray/branch-and-bound winner agreement with the reference scan across worker counts, run the beyond-exhaustive strategies on the wide twins (annealing must strictly beat the MinPower heuristic at k=32), write the JSON record to this path (e.g. BENCH_4.json), and exit without sweeping")
+	reorderBenchOut := flag.String("reorder-bench-out", "", "BDD reordering benchmark mode: run the Table-1 + x4 corpus under the BENCH_8 budgeted configuration with in-place sifting on and off across worker counts, the frontier ladder on which sifting rescues x3 and Industry 2 to exact-sifted, and a dominod cache round-trip; write the JSON record to this path (e.g. BENCH_9.json) and exit without sweeping")
 	satBenchOut := flag.String("satbench-out", "", "saturation benchmark mode: sweep the wide and blocked simulation kernels across block sizes and worker counts on the x1/wide32 twins plus a low-activity twin, verify byte-identical Reports against the scalar oracle, write the JSON record to this path (e.g. BENCH_7.json), and exit without sweeping; fails below a 3x blocked-over-wide speedup on x1 or a 0.5 gating skip rate on the low-activity twin")
 	corpusPaths := flag.String("corpus", "", "corpus mode: sweep the .blif/.pla files under these comma-separated directories/globs/files instead of the generated twins")
 	strategiesFlag := flag.String("strategies", "", "corpus mode: comma-separated MinPower search strategies to sweep (auto, exhaustive, bb, anneal, greedy); empty = the paper's pairwise heuristic only")
@@ -187,6 +200,12 @@ func main() {
 	}
 	if *satBenchOut != "" {
 		if err := runSatBench(*satBenchOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *reorderBenchOut != "" {
+		if err := runReorderBench(*reorderBenchOut); err != nil {
 			log.Fatal(err)
 		}
 		return

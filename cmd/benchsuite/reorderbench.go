@@ -1,0 +1,506 @@
+package main
+
+import (
+	"archive/tar"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"time"
+
+	"repro/internal/blif"
+	"repro/internal/corpus"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/power"
+	"repro/internal/serve"
+)
+
+// reorderDefaultBudget is the BDD node budget of the sweep — the same
+// default the BENCH_8 chaos gate ran the Table-1 corpus under, so the
+// two records measure the same frontier with and without in-place
+// reordering.
+const reorderDefaultBudget = 20000
+
+// reorderWorkerCounts is the per-circuit flow worker sweep of the
+// bit-identical gate.
+var reorderWorkerCounts = []int{1, 2, 8}
+
+// ReorderRow is one (circuit, budget, mode) outcome of BENCH_9.json.
+type ReorderRow struct {
+	Circuit string `json:"circuit"`
+	PIs     int    `json:"pis"`
+	POs     int    `json:"pos"`
+	Budget  int    `json:"budget"`
+	// Reorder is the BDDReorder mode the row ran under ("auto"/"off").
+	Reorder string `json:"reorder"`
+	// Engine is the degradation-chain stage that produced the row:
+	// "" = exact on the static order, "exact-sifted" = exact after
+	// in-place reordering, else a degraded engine.
+	Engine      string  `json:"engine,omitempty"`
+	BudgetTrips int     `json:"budget_trips,omitempty"`
+	WallSec     float64 `json:"wall_sec"`
+}
+
+// RescueRow records one frontier-ladder circuit: a Table-1 circuit
+// that degrades under the PR-8 chain at this budget but completes
+// exactly once the reorder-and-retry stage arms sifting.
+type RescueRow struct {
+	Circuit    string  `json:"circuit"`
+	Budget     int     `json:"budget"`
+	EngineAuto string  `json:"engine_auto"`
+	EngineOff  string  `json:"engine_off"`
+	WallAuto   float64 `json:"wall_auto_sec"`
+	WallOff    float64 `json:"wall_off_sec"`
+}
+
+// ReorderSuite is the persisted BENCH_9.json document.
+type ReorderSuite struct {
+	GeneratedAt   time.Time `json:"generated_at"`
+	DefaultBudget int       `json:"default_budget"`
+	// LargestCircuitCompleted is the largest circuit (by PIs) whose row
+	// came from the exact engine ("" or "exact-sifted") at the default
+	// budget — BENCH_8's frontier statistic restricted to exact
+	// completions.
+	LargestCircuitCompleted string `json:"largest_circuit_completed"`
+	LargestCircuitPIs       int    `json:"largest_circuit_pis"`
+	LargestCircuitPOs       int    `json:"largest_circuit_pos"`
+	LargestCircuitEngine    string `json:"largest_circuit_engine"`
+	// RowsIdenticalAcrossWorkers records the bit-identical gate over
+	// WorkerCounts (wall-clock excepted).
+	RowsIdenticalAcrossWorkers bool  `json:"rows_identical_across_workers"`
+	WorkerCounts               []int `json:"worker_counts"`
+	// RescuedTable1 is the frontier ladder: Table-1 circuits that
+	// degraded in BENCH_8 and complete exact-sifted here.
+	RescuedTable1 []RescueRow `json:"rescued_table1"`
+	// CacheHitsOnResubmit records that resubmitting the corpus to an
+	// in-process dominod was answered entirely from the
+	// content-addressed cache without re-entering the flow.
+	CacheHitsOnResubmit bool         `json:"cache_hits_on_resubmit"`
+	Rows                []ReorderRow `json:"rows"`
+}
+
+// reorderBaseConfig is the BENCH_8 budgeted-corpus configuration (same
+// estimator shape, same default budget) with the default ReorderAuto
+// mode, so engine differences against BENCH_8 are attributable to
+// reordering alone.
+func reorderBaseConfig() flow.Config {
+	return flow.Config{
+		SimVectors:    256,
+		SimShards:     2,
+		MaxPairs:      24,
+		EstOpts:       power.Options{Method: power.Exact, Depth: 3, MaxFrontier: 8},
+		BDDNodeBudget: reorderDefaultBudget,
+	}
+}
+
+// reorderCorpus is the sweep's circuit set: the Table-1 twins plus the
+// beyond-Table-1 x4 frontier twin.
+func reorderCorpus() []gen.NamedCircuit {
+	return append(gen.Table1Circuits(), gen.X4())
+}
+
+// stripWall zeroes the wall-clock fields so rows can be compared for
+// the deterministic contract (WallSec is the documented exception).
+func stripWall(rows []*flow.CorpusRow) []flow.CorpusRow {
+	out := make([]flow.CorpusRow, len(rows))
+	for i, r := range rows {
+		c := *r
+		c.WallSec = 0
+		out[i] = c
+	}
+	return out
+}
+
+// runReorderBench runs the ISSUE 9 reordering benchmark and writes
+// BENCH_9.json to outPath. Four hard gates fail the run (and CI):
+//
+//   - every corpus row must be bit-identical (wall-clock excepted)
+//     across per-circuit worker counts {1, 2, 8};
+//   - the largest circuit completing on the exact engine at the
+//     default budget must beat x3's 235 PIs (the x4 twin, rescued by
+//     the exact-sifted stage where the plain chain degrades it);
+//   - at least two Table-1 circuits that degraded in BENCH_8 must
+//     complete exact-sifted on the frontier ladder — budgets at which
+//     the reorder-free chain still degrades them;
+//   - resubmitting the corpus to an in-process dominod must be served
+//     entirely from the content-addressed cache (no flow re-entry),
+//     with the exact-sifted engine intact in the cached rows.
+func runReorderBench(outPath string) error {
+	circuits := reorderCorpus()
+	dir, err := os.MkdirTemp("", "reorderbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// Corpus rows carry the file-derived name (FileName: lowercased,
+	// spaces stripped), so that is the lookup key throughout.
+	byName := make(map[string]gen.NamedCircuit, len(circuits))
+	for _, c := range circuits {
+		byName[c.FileName()] = c
+		m, err := blif.WriteString(&blif.Model{Network: c.Net})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, c.FileName()+".blif"), []byte(m), 0o644); err != nil {
+			return err
+		}
+	}
+	entries, err := corpus.Discover(dir)
+	if err != nil {
+		return err
+	}
+	if len(entries) != len(circuits) {
+		return fmt.Errorf("reorderbench: discovered %d corpus entries, want %d", len(entries), len(circuits))
+	}
+
+	suite := ReorderSuite{
+		GeneratedAt:   time.Now().UTC(),
+		DefaultBudget: reorderDefaultBudget,
+		WorkerCounts:  reorderWorkerCounts,
+	}
+
+	// 1. Default-budget sweep, per-circuit workers {1, 2, 8}: the rows
+	// are the deterministic contract's subject, so they must match
+	// bit for bit (wall-clock excepted).
+	runCorpus := func(workers int, configure func(*corpus.Circuit, flow.Config) flow.Config) ([]*flow.CorpusRow, error) {
+		cfg := reorderBaseConfig()
+		cfg.Workers = workers
+		rows, err := flow.RunCorpus(context.Background(), entries, flow.CorpusConfig{
+			Base:      cfg,
+			Configure: configure,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if r.Err != "" {
+				return nil, fmt.Errorf("reorderbench: %s failed instead of degrading: %s", r.Name, r.Err)
+			}
+		}
+		return rows, nil
+	}
+	var reference []*flow.CorpusRow
+	suite.RowsIdenticalAcrossWorkers = true
+	for _, w := range reorderWorkerCounts {
+		t0 := time.Now()
+		rows, err := runCorpus(w, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("reorderbench: corpus at budget %d, workers=%d: %d rows in %.1fs\n",
+			reorderDefaultBudget, w, len(rows), time.Since(t0).Seconds())
+		if reference == nil {
+			reference = rows
+			continue
+		}
+		if !reflect.DeepEqual(stripWall(reference), stripWall(rows)) {
+			suite.RowsIdenticalAcrossWorkers = false
+			fmt.Printf("reorderbench: MISMATCH corpus rows workers=%d vs workers=%d\n", w, reorderWorkerCounts[0])
+		}
+	}
+	for _, r := range reference {
+		c := byName[r.Name]
+		suite.Rows = append(suite.Rows, ReorderRow{
+			Circuit: r.Name, PIs: c.Net.NumInputs(), POs: c.Net.NumOutputs(),
+			Budget: reorderDefaultBudget, Reorder: "auto",
+			Engine: r.Engine, BudgetTrips: r.BudgetTrips, WallSec: r.WallSec,
+		})
+		exact := r.Engine == "" || r.Engine == flow.EngineExactSifted
+		if exact && c.Net.NumInputs() >= suite.LargestCircuitPIs {
+			suite.LargestCircuitCompleted = r.Name
+			suite.LargestCircuitPIs = c.Net.NumInputs()
+			suite.LargestCircuitPOs = c.Net.NumOutputs()
+			suite.LargestCircuitEngine = r.Engine
+		}
+		fmt.Printf("reorderbench: %-12s engine=%-14q trips=%d wall=%.1fs\n", r.Name, r.Engine, r.BudgetTrips, r.WallSec)
+	}
+
+	// Control: the same corpus with reordering off — the PR-8 chain —
+	// shows which engines the default budget forces without sifting.
+	offRows, err := runCorpus(1, func(_ *corpus.Circuit, base flow.Config) flow.Config {
+		base.BDDReorder = flow.ReorderOff
+		return base
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range offRows {
+		c := byName[r.Name]
+		suite.Rows = append(suite.Rows, ReorderRow{
+			Circuit: r.Name, PIs: c.Net.NumInputs(), POs: c.Net.NumOutputs(),
+			Budget: reorderDefaultBudget, Reorder: "off",
+			Engine: r.Engine, BudgetTrips: r.BudgetTrips, WallSec: r.WallSec,
+		})
+	}
+
+	// 2. Frontier ladder: Table-1 circuits that degraded in BENCH_8,
+	// at the budgets where sifting (and only sifting) completes them
+	// exactly. Run as one corpus so the circuits overlap; the worker
+	// invariance of the rescued rows is re-checked at workers 1 and 8.
+	ladder := map[string]int{"x3": 100000, "industry2": 300000}
+	ladderConfigure := func(mode flow.BDDReorderMode) func(*corpus.Circuit, flow.Config) flow.Config {
+		return func(c *corpus.Circuit, base flow.Config) flow.Config {
+			if b, ok := ladder[c.Named.Name]; ok {
+				base.BDDNodeBudget = b
+			}
+			base.BDDReorder = mode
+			return base
+		}
+	}
+	ladderEntries := entries[:0:0]
+	for _, e := range entries {
+		if _, ok := ladder[e.Name]; ok {
+			ladderEntries = append(ladderEntries, e)
+		}
+	}
+	if len(ladderEntries) != len(ladder) {
+		return fmt.Errorf("reorderbench: frontier ladder matched %d entries, want %d", len(ladderEntries), len(ladder))
+	}
+	runLadder := func(workers int, mode flow.BDDReorderMode) ([]*flow.CorpusRow, error) {
+		cfg := reorderBaseConfig()
+		cfg.Workers = workers
+		rows, err := flow.RunCorpus(context.Background(), ladderEntries, flow.CorpusConfig{
+			Base:      cfg,
+			Configure: ladderConfigure(mode),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			if r.Err != "" {
+				return nil, fmt.Errorf("reorderbench: ladder %s failed: %s", r.Name, r.Err)
+			}
+		}
+		return rows, nil
+	}
+	autoRows, err := runLadder(1, flow.ReorderAuto)
+	if err != nil {
+		return err
+	}
+	autoRows8, err := runLadder(8, flow.ReorderAuto)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(stripWall(autoRows), stripWall(autoRows8)) {
+		suite.RowsIdenticalAcrossWorkers = false
+		fmt.Println("reorderbench: MISMATCH frontier-ladder rows workers=8 vs workers=1")
+	}
+	offLadder, err := runLadder(1, flow.ReorderOff)
+	if err != nil {
+		return err
+	}
+	for i, r := range autoRows {
+		off := offLadder[i]
+		budget := ladder[r.Name]
+		c := byName[r.Name]
+		suite.RescuedTable1 = append(suite.RescuedTable1, RescueRow{
+			Circuit: r.Name, Budget: budget,
+			EngineAuto: r.Engine, EngineOff: off.Engine,
+			WallAuto: r.WallSec, WallOff: off.WallSec,
+		})
+		suite.Rows = append(suite.Rows,
+			ReorderRow{Circuit: r.Name, PIs: c.Net.NumInputs(), POs: c.Net.NumOutputs(),
+				Budget: budget, Reorder: "auto", Engine: r.Engine, BudgetTrips: r.BudgetTrips, WallSec: r.WallSec},
+			ReorderRow{Circuit: off.Name, PIs: c.Net.NumInputs(), POs: c.Net.NumOutputs(),
+				Budget: budget, Reorder: "off", Engine: off.Engine, BudgetTrips: off.BudgetTrips, WallSec: off.WallSec},
+		)
+		fmt.Printf("reorderbench: ladder %-12s budget=%d auto=%-14q (%.1fs) off=%-14q (%.1fs)\n",
+			r.Name, budget, r.Engine, r.WallSec, off.Engine, off.WallSec)
+	}
+
+	// 3. Cache round-trip: the sweep corpus submitted twice to an
+	// in-process dominod; the resubmission must be all cache hits.
+	hitsOK, err := reorderCacheCheck(dir, circuits)
+	if err != nil {
+		return err
+	}
+	suite.CacheHitsOnResubmit = hitsOK
+
+	if err := writeReorderJSON(outPath, suite); err != nil {
+		return err
+	}
+	fmt.Printf("reorderbench: largest exact completion: %s (%d PIs, engine %q); %d rescued Table-1 circuits; identical=%v; cache=%v -> %s\n",
+		suite.LargestCircuitCompleted, suite.LargestCircuitPIs, suite.LargestCircuitEngine,
+		len(suite.RescuedTable1), suite.RowsIdenticalAcrossWorkers, suite.CacheHitsOnResubmit, outPath)
+
+	// Hard gates.
+	if !suite.RowsIdenticalAcrossWorkers {
+		return fmt.Errorf("reorderbench: corpus rows differ across worker counts %v", reorderWorkerCounts)
+	}
+	if suite.LargestCircuitPIs <= 235 {
+		return fmt.Errorf("reorderbench: largest exact completion is %s (%d PIs), gate requires > 235 (x3)",
+			suite.LargestCircuitCompleted, suite.LargestCircuitPIs)
+	}
+	rescued := 0
+	for _, r := range suite.RescuedTable1 {
+		if r.EngineAuto != flow.EngineExactSifted {
+			return fmt.Errorf("reorderbench: ladder %s at budget %d landed on %q, want %q",
+				r.Circuit, r.Budget, r.EngineAuto, flow.EngineExactSifted)
+		}
+		if r.EngineOff != flow.EngineDepthWeighted && r.EngineOff != flow.EngineMonteCarlo {
+			return fmt.Errorf("reorderbench: ladder %s at budget %d completes %q without reordering — the budget no longer bites, raise the frontier",
+				r.Circuit, r.Budget, r.EngineOff)
+		}
+		rescued++
+	}
+	if rescued < 2 {
+		return fmt.Errorf("reorderbench: only %d Table-1 circuits rescued to exact-sifted, gate requires >= 2", rescued)
+	}
+	if !suite.CacheHitsOnResubmit {
+		return fmt.Errorf("reorderbench: corpus resubmission re-entered the flow instead of hitting the cache")
+	}
+	return nil
+}
+
+// reorderCacheCheck submits the sweep corpus to an in-process dominod
+// twice and verifies the second submission is answered entirely from
+// the content-addressed cache — no flow re-entry — with the
+// exact-sifted engine preserved in the cached rows.
+func reorderCacheCheck(dir string, circuits []gen.NamedCircuit) (bool, error) {
+	s := serve.NewServer(serve.Options{QueueDepth: 4, JobWorkers: 1, FlowWorkers: 2})
+	s.Start()
+	defer s.Drain()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return false, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, c := range circuits {
+		data, err := os.ReadFile(filepath.Join(dir, c.FileName()+".blif"))
+		if err != nil {
+			return false, err
+		}
+		if err := tw.WriteHeader(&tar.Header{Name: c.FileName() + ".blif", Mode: 0o644, Size: int64(len(data))}); err != nil {
+			return false, err
+		}
+		if _, err := tw.Write(data); err != nil {
+			return false, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return false, err
+	}
+	cfgJSON, err := json.Marshal(reorderBaseConfig())
+	if err != nil {
+		return false, err
+	}
+
+	type status struct {
+		ID        string `json:"id"`
+		State     string `json:"state"`
+		CacheHits int    `json:"cache_hits"`
+		Failed    int    `json:"failed"`
+	}
+	submit := func() (*status, int, error) {
+		req, err := http.NewRequest("POST", base+"/v1/jobs?name=reorder.tar", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, 0, err
+		}
+		req.Header.Set("X-Dominod-Config", string(cfgJSON))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		var st status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return nil, 0, err
+		}
+		return &st, resp.StatusCode, nil
+	}
+	engines := func(id string) (map[string]string, error) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/rows")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]string)
+		for _, line := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+			var rec struct {
+				Name   string `json:"name"`
+				Engine string `json:"engine"`
+				Error  string `json:"error"`
+			}
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, err
+			}
+			if rec.Error != "" {
+				return nil, fmt.Errorf("cached corpus row %s errored: %s", rec.Name, rec.Error)
+			}
+			out[rec.Name] = rec.Engine
+		}
+		return out, nil
+	}
+
+	first, code, err := submit()
+	if err != nil {
+		return false, err
+	}
+	if code != http.StatusAccepted && code != http.StatusOK {
+		return false, fmt.Errorf("reorderbench: corpus submission rejected with %d", code)
+	}
+	firstEngines, err := engines(first.ID) // rows stream blocks until done
+	if err != nil {
+		return false, err
+	}
+	flowRuns := s.FlowRuns()
+
+	second, code, err := submit()
+	if err != nil {
+		return false, err
+	}
+	// A fully cached submission completes at submit time with HTTP 200.
+	if code != http.StatusOK || second.State != "done" || second.CacheHits != len(circuits) {
+		fmt.Printf("reorderbench: resubmit not fully cached: status=%d state=%s hits=%d/%d\n",
+			code, second.State, second.CacheHits, len(circuits))
+		return false, nil
+	}
+	if s.FlowRuns() != flowRuns {
+		fmt.Println("reorderbench: resubmit re-entered the flow")
+		return false, nil
+	}
+	secondEngines, err := engines(second.ID)
+	if err != nil {
+		return false, err
+	}
+	if !reflect.DeepEqual(firstEngines, secondEngines) {
+		fmt.Printf("reorderbench: cached engines diverge: %v vs %v\n", firstEngines, secondEngines)
+		return false, nil
+	}
+	if secondEngines["x4"] != flow.EngineExactSifted {
+		fmt.Printf("reorderbench: cached x4 engine = %q, want %q\n", secondEngines["x4"], flow.EngineExactSifted)
+		return false, nil
+	}
+	return true, nil
+}
+
+func writeReorderJSON(path string, suite ReorderSuite) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

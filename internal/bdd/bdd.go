@@ -102,6 +102,18 @@ type Manager struct {
 	// node-cap compare every insert, cancellation check every
 	// cancelPollInterval inserts (see interrupt.go).
 	budget *budget.T
+
+	// Reordering state (see reorder.go): rs is the ephemeral swap
+	// bookkeeping (dropped whenever an ordinary mk interns a node it
+	// doesn't know about), protected holds the registered root slices,
+	// and nextReorderAt is the live-node count the next automatic
+	// reorder triggers at.
+	rs              *reorderState
+	protected       [][]Ref
+	autoReorder     bool
+	reorderFraction float64
+	nextReorderAt   int
+	reorders        int
 }
 
 // New creates a manager over numVars variables in natural order
@@ -191,6 +203,11 @@ func (m *Manager) Reset() {
 	}
 	for i := range m.binop {
 		m.binop[i] = binopEntry{}
+	}
+	m.rs = nil
+	m.protected = nil
+	if m.autoReorder {
+		m.scheduleNextReorder()
 	}
 }
 
@@ -285,7 +302,11 @@ func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 		idx = (idx + 1) & mask
 	}
 	// Miss: intern a fresh node, growing storage chunk-wise and the table
-	// at 3/4 load.
+	// at 3/4 load. Any reorder state becomes stale the moment a node it
+	// has no books for appears.
+	if m.rs != nil {
+		m.rs = nil
+	}
 	if len(m.nodes) == cap(m.nodes) {
 		step := cap(m.nodes) / 2
 		if step < nodeChunk {

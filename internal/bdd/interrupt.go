@@ -40,7 +40,7 @@ func (m *Manager) SetBudget(t *budget.T) { m.budget = t }
 // pollBudget enforces the node cap and cancellation on the fresh-node
 // intern path. Caller guarantees m.budget != nil.
 func (m *Manager) pollBudget() {
-	if max := m.budget.MaxBDDNodes(); max > 0 && len(m.nodes)-2 > max {
+	if max := m.budget.MaxBDDNodes(); max > 0 && m.uniqueCount > max {
 		panic(buildInterrupt{m.budget.TripBDD()})
 	}
 	if m.uniqueCount%cancelPollInterval == 0 {

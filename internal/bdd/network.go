@@ -93,6 +93,12 @@ func BuildNetworkLitsIn(m *Manager, n *logic.Network, numVars int, lits []InputL
 		return nil, err
 	}
 	refs := make([]Ref, n.NumNodes())
+	// The result slice is protected for the manager's reorderer: refs
+	// filled so far (unfilled entries are the False terminal, a harmless
+	// pin) survive any automatic or explicit reorder with their slots
+	// intact, so the returned NodeRefs stay valid however often the
+	// table is sifted. ResetWithOrder above cleared prior registrations.
+	m.Protect(refs)
 	inputVar := make(map[logic.NodeID]int, n.NumInputs())
 	var inputNeg []bool
 	for pos, id := range n.Inputs() {
@@ -109,6 +115,10 @@ func BuildNetworkLitsIn(m *Manager, n *logic.Network, numVars int, lits []InputL
 		}
 	}
 	for i := 0; i < n.NumNodes(); i++ {
+		// Safe point for automatic reordering: no apply/ITE recursion is
+		// live, every ref built so far is protected. The trigger is a
+		// pure function of table state, so builds stay deterministic.
+		m.maybeReorder()
 		id := logic.NodeID(i)
 		nd := n.Node(id)
 		switch nd.Kind {
@@ -214,55 +224,60 @@ func CountUnderOrder(src *Manager, roots []Ref, order []int) int {
 // of the others) and left at the position minimizing the shared node
 // count of roots. Returns the best order found and its node count.
 //
-// The classic in-place sifting swaps adjacent levels inside the unique
-// table; at the circuit scale of this reproduction a rebuild per candidate
-// position is affordable and considerably simpler to validate.
+// Manager.Reorder is the in-place production path; this rebuild-per-
+// candidate variant visits every (variable, position) pair without
+// growth aborts, which makes it the correctness oracle the in-place
+// reorderer is property-tested against. A position index replaces the
+// former per-variable linear rescan, and candidate orders are produced
+// by in-place rotation into one scratch slice instead of a fresh copy
+// per candidate.
 func Sift(src *Manager, roots []Ref) ([]int, int) {
 	order := src.Order()
 	best := CountUnderOrder(src, roots, order)
 	n := len(order)
+	// posOf[v] = current position of variable v in order.
+	posOf := make([]int, n)
+	for i, v := range order {
+		posOf[v] = i
+	}
+	cand := make([]int, n)
 	for v := 0; v < n; v++ {
-		// Current position of variable v in order.
-		pos := -1
-		for i, ov := range order {
-			if ov == v {
-				pos = i
-				break
-			}
-		}
+		pos := posOf[v]
 		bestPos, bestCount := pos, best
 		for p := 0; p < n; p++ {
 			if p == pos {
 				continue
 			}
-			cand := moveVar(order, pos, p)
+			copy(cand, order)
+			moveVar(cand, pos, p)
 			c := CountUnderOrder(src, roots, cand)
 			if c < bestCount {
 				bestCount, bestPos = c, p
 			}
 		}
 		if bestPos != pos {
-			order = moveVar(order, pos, bestPos)
+			moveVar(order, pos, bestPos)
+			lo, hi := pos, bestPos
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			for i := lo; i <= hi; i++ {
+				posOf[order[i]] = i
+			}
 			best = bestCount
 		}
 	}
 	return order, best
 }
 
-// moveVar returns a copy of order with the element at position from moved
-// to position to.
-func moveVar(order []int, from, to int) []int {
-	out := make([]int, 0, len(order))
+// moveVar rotates order in place so the element at position from lands
+// at position to, shifting the elements between them by one.
+func moveVar(order []int, from, to int) {
 	v := order[from]
-	for i, ov := range order {
-		if i == from {
-			continue
-		}
-		out = append(out, ov)
+	if from < to {
+		copy(order[from:], order[from+1:to+1])
+	} else {
+		copy(order[to+1:], order[to:from])
 	}
-	// Insert v at position to.
-	out = append(out, 0)
-	copy(out[to+1:], out[to:])
-	out[to] = v
-	return out
+	order[to] = v
 }

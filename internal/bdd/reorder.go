@@ -1,0 +1,563 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// In-place dynamic variable reordering — Rudell's sifting (ICCAD'93, the
+// CUDD/BuDDy lineage) — on the open-addressed unique table.
+//
+// The reordering contract:
+//
+//   - SwapLevels and Reorder preserve the *slots* (Refs) of every node
+//     reachable from a protected root. A swap of adjacent levels l/l+1
+//     touches only the nodes at those two levels: nodes at level l not
+//     depending on the level-l+1 variable keep their triple and move to
+//     l+1; level-l+1 nodes are rekeyed to l in place; level-l nodes that
+//     do depend on the other variable are rewritten in place as deciders
+//     of it (F = y ? (x?f11:f01) : (x?f10:f00)). External Refs into the
+//     protected forest therefore stay valid across any number of swaps.
+//   - Every Ref *not* reachable from a protected root is invalidated:
+//     reorder-state setup garbage-collects unreachable interned nodes and
+//     reuses their slots for swap-created nodes.
+//   - Every decision — garbage-collection order, sift order, tie-breaks,
+//     slot assignment, growth aborts, the auto-reorder trigger — is a
+//     pure function of the table state, so a build+reorder sequence is
+//     bit-identical across processes and worker counts, and dominod may
+//     cache its results.
+//
+// The budget token is polled per swap (cancellation) and per created
+// node (node cap + cancellation), so both land inside a reorder as the
+// usual CUDD-style interrupt panic; the build boundary (or Reorder's own
+// CatchInterrupt) converts it to an error and the manager is left
+// unusable-but-not-corrupt — a Reset* restores it.
+
+// reorderState is the ephemeral bookkeeping a reorder needs: reference
+// counts, a per-level node index (swap cost proportional to the two
+// levels' populations), and a free list of collected slots. It is built
+// on demand from the protected roots and dropped when a reorder ends or
+// any ordinary mk interns a node the state doesn't know about.
+type reorderState struct {
+	// refcnt[r] = number of live parents of r plus one pin per protected
+	// occurrence. Terminals accumulate counts but are never collected.
+	refcnt []int32
+	// pos[r] = index of r in levels[nodes[r].level].
+	pos []int32
+	// levels[l] lists the live nodes at level l in deterministic order.
+	levels [][]Ref
+	// free holds collected slots for reuse by swap-created nodes, popped
+	// from the end.
+	free []Ref
+	// dead is the deferred death worklist shared across swaps.
+	dead []Ref
+}
+
+const (
+	// autoReorderFloor is the smallest live-node count an automatic
+	// reorder can trigger at (unless a budget fraction point is lower) —
+	// tiny per-cone builds never pay a sift.
+	autoReorderFloor = 4096
+	// defaultReorderFraction of MaxBDDNodes at which an automatic
+	// reorder fires even before live nodes double.
+	defaultReorderFraction = 0.5
+)
+
+// Protect registers roots as protected across reorders: nodes reachable
+// from any registered slice survive SwapLevels/Reorder with their Refs
+// intact. The slice is aliased, not copied — its *current* contents are
+// re-read whenever reorder state is built, so a caller may register a
+// result slice up front and fill it as a build progresses
+// (BuildNetworkLitsIn does exactly that). Reset and ResetWithOrder clear
+// the registrations.
+func (m *Manager) Protect(roots []Ref) {
+	m.protected = append(m.protected, roots)
+	m.rs = nil
+}
+
+// LiveNodes returns the number of interned non-terminal nodes. Before
+// any reorder this equals Size()-2; after a reorder it counts only live
+// nodes (collected slots are excluded).
+func (m *Manager) LiveNodes() int { return m.uniqueCount }
+
+// Reorders returns the number of completed in-place reorders over the
+// manager's lifetime (Reset does not clear it, matching the budget
+// attachment's lifetime).
+func (m *Manager) Reorders() int { return m.reorders }
+
+// SetAutoReorder enables or disables automatic reordering at safe points
+// during BuildNetwork* builds. When enabled, a reorder fires once live
+// nodes double since the last reorder (with a floor of 4096) or cross
+// the configured fraction (default 0.5) of the budget's MaxBDDNodes.
+// Both triggers are pure functions of table state, so enabling
+// auto-reorder keeps builds deterministic. Reset keeps the setting.
+func (m *Manager) SetAutoReorder(on bool) {
+	m.autoReorder = on
+	if on {
+		m.scheduleNextReorder()
+	}
+}
+
+// SetAutoReorderFraction overrides the fraction of MaxBDDNodes at which
+// auto-reorder fires (0 restores the default 0.5).
+func (m *Manager) SetAutoReorderFraction(f float64) {
+	m.reorderFraction = f
+	if m.autoReorder {
+		m.scheduleNextReorder()
+	}
+}
+
+// scheduleNextReorder fixes the live-node count the next automatic
+// reorder triggers at: double the current live count (floored), pulled
+// down to the budget-fraction point when that lies ahead of the current
+// size.
+func (m *Manager) scheduleNextReorder() {
+	next := 2 * m.uniqueCount
+	if next < autoReorderFloor {
+		next = autoReorderFloor
+	}
+	if m.budget != nil {
+		if mx := m.budget.MaxBDDNodes(); mx > 0 {
+			frac := m.reorderFraction
+			if frac <= 0 {
+				frac = defaultReorderFraction
+			}
+			if fp := int(frac * float64(mx)); fp > m.uniqueCount && fp < next {
+				next = fp
+			}
+		}
+	}
+	m.nextReorderAt = next
+}
+
+// maybeReorder runs an automatic reorder when the trigger point is
+// reached. It must only be called at safe points — between node
+// operations, never from inside an apply/ITE recursion — and panics
+// with the usual typed interrupt on budget trip or cancellation.
+func (m *Manager) maybeReorder() {
+	if !m.autoReorder || m.uniqueCount < m.nextReorderAt {
+		return
+	}
+	m.reorderNow()
+	m.scheduleNextReorder()
+}
+
+// Reorder runs one full sifting pass in place: variables are sifted
+// largest-level-first (ties by lower variable index) through every
+// position, each left at the position minimizing the live node count
+// (first position found on a strict improvement — deterministic), with
+// a 1.2× growth abort per direction. Refs reachable from protected
+// roots remain valid; all others are invalidated. A budget trip or
+// cancellation mid-reorder returns an error and leaves the manager
+// unusable until the next Reset*.
+func (m *Manager) Reorder() error { return CatchInterrupt(m.reorderNow) }
+
+// SwapLevels exchanges adjacent levels l and l+1 in place, rewriting
+// only the nodes at those two levels. It is the primitive Reorder is
+// built from, exported for direct order surgery and property tests; the
+// same protected-root contract applies.
+func (m *Manager) SwapLevels(l int) error {
+	if l < 0 || l+1 >= m.NumVars() {
+		return fmt.Errorf("bdd: swap level %d out of range [0,%d)", l, m.NumVars()-1)
+	}
+	return CatchInterrupt(func() {
+		if m.rs == nil {
+			m.buildReorderState()
+		}
+		m.swapLevels(l)
+	})
+}
+
+// reorderNow is the panicking core of Reorder, also invoked by the
+// auto-reorder trigger inside builds.
+func (m *Manager) reorderNow() {
+	if m.NumVars() < 2 {
+		return
+	}
+	if m.rs == nil {
+		m.buildReorderState()
+	}
+	defer func() { m.rs = nil }()
+	// Sift order: start-population descending, variable index ascending.
+	type cand struct{ v, pop int }
+	cands := make([]cand, 0, m.NumVars())
+	for v := 0; v < m.NumVars(); v++ {
+		if pop := len(m.rs.levels[m.levelOfVar[v]]); pop > 0 {
+			cands = append(cands, cand{v, pop})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pop != cands[j].pop {
+			return cands[i].pop > cands[j].pop
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, c := range cands {
+		m.siftVar(c.v)
+	}
+	m.reorders++
+}
+
+// siftVar moves variable v through every level — down to the bottom,
+// then up to the top — tracking the live node count after each swap,
+// then parks it at the best position found. A direction aborts once the
+// count exceeds 1.2× the size at sift start.
+func (m *Manager) siftVar(v int) {
+	start := m.uniqueCount
+	limit := start + start/5
+	n := m.NumVars()
+	pos := int(m.levelOfVar[v])
+	bestSize, bestPos := start, pos
+	size := start
+	for pos < n-1 {
+		m.swapLevels(pos)
+		pos++
+		size = m.uniqueCount
+		if size < bestSize {
+			bestSize, bestPos = size, pos
+		}
+		if size > limit {
+			break
+		}
+	}
+	for pos > 0 {
+		m.swapLevels(pos - 1)
+		pos--
+		size = m.uniqueCount
+		if size < bestSize {
+			bestSize, bestPos = size, pos
+		}
+		if size > limit {
+			break
+		}
+	}
+	for pos < bestPos {
+		m.swapLevels(pos)
+		pos++
+	}
+	for pos > bestPos {
+		m.swapLevels(pos - 1)
+		pos--
+	}
+}
+
+// buildReorderState marks the protected forest, builds the per-level
+// index and reference counts, garbage-collects unreachable interned
+// nodes (their slots seed the free list), and drops the operation
+// caches (their entries may name collected slots).
+func (m *Manager) buildReorderState() {
+	numVars := m.NumVars()
+	rs := &reorderState{
+		refcnt: make([]int32, len(m.nodes)),
+		pos:    make([]int32, len(m.nodes)),
+		levels: make([][]Ref, numVars),
+	}
+	seen := make([]bool, len(m.nodes))
+	seen[False], seen[True] = true, true
+	var mark func(Ref)
+	mark = func(r Ref) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		n := &m.nodes[r]
+		mark(n.lo)
+		mark(n.hi)
+		rs.refcnt[n.lo]++
+		rs.refcnt[n.hi]++
+	}
+	for _, roots := range m.protected {
+		for _, r := range roots {
+			mark(r)
+			rs.refcnt[r]++ // pin: protected nodes never die
+		}
+	}
+	// Garbage collection: interned nodes unreachable from any protected
+	// root leave the table; their slots are freed in ascending order so
+	// slot reuse is independent of hash-table layout.
+	var garbage []Ref
+	for _, r := range m.unique {
+		if r != False && !seen[r] {
+			garbage = append(garbage, r)
+		}
+	}
+	sort.Slice(garbage, func(i, j int) bool { return garbage[i] < garbage[j] })
+	for _, r := range garbage {
+		m.uniqueDelete(r)
+	}
+	rs.free = garbage
+	for r := 2; r < len(m.nodes); r++ {
+		if !seen[r] {
+			continue
+		}
+		lvl := m.nodes[r].level
+		rs.pos[r] = int32(len(rs.levels[lvl]))
+		rs.levels[lvl] = append(rs.levels[lvl], Ref(r))
+	}
+	// The lossy caches may hold entries naming collected slots; they are
+	// advisory for results but must not resolve to reused slots.
+	for i := range m.ite {
+		m.ite[i] = iteEntry{}
+	}
+	for i := range m.binop {
+		m.binop[i] = binopEntry{}
+	}
+	m.rs = rs
+}
+
+// swapLevels is the in-place adjacent swap. Phase order matters for
+// canonicity: classification snapshots the four grandchildren while
+// child levels are still old; both levels leave the unique table while
+// triples still match their entries; level-l+1 nodes rekey to l and
+// movers to l+1 *before* dependents intern their new children, so
+// swap-created deciders share with movers; deaths cascade last.
+func (m *Manager) swapLevels(l int) {
+	if m.budget != nil {
+		if err := m.budget.Err(); err != nil {
+			panic(buildInterrupt{err})
+		}
+	}
+	rs := m.rs
+	lx, ly := int32(l), int32(l+1)
+	levL := rs.levels[l]
+	levY := rs.levels[l+1]
+	if len(levL) == 0 {
+		// No level-l nodes: level-l+1 nodes just rekey one level up.
+		for _, r := range levY {
+			m.uniqueDelete(r)
+		}
+		for _, r := range levY {
+			m.nodes[r].level = lx
+			m.uniqueInsert(r)
+		}
+		rs.levels[l], rs.levels[l+1] = levY, levL
+		m.swapVarMaps(l)
+		return
+	}
+	// Classify level-l nodes: movers keep their children; dependents
+	// snapshot the grandchildren quadruple before any level changes.
+	type depNode struct {
+		r                  Ref
+		f00, f01, f10, f11 Ref
+	}
+	var movers []Ref
+	var deps []depNode
+	for _, r := range levL {
+		n := &m.nodes[r]
+		f0, f1 := n.lo, n.hi
+		d := depNode{r: r, f00: f0, f01: f0, f10: f1, f11: f1}
+		isDep := false
+		if c := &m.nodes[f0]; c.level == ly {
+			d.f00, d.f01 = c.lo, c.hi
+			isDep = true
+		}
+		if c := &m.nodes[f1]; c.level == ly {
+			d.f10, d.f11 = c.lo, c.hi
+			isDep = true
+		}
+		if isDep {
+			deps = append(deps, d)
+		} else {
+			movers = append(movers, r)
+		}
+	}
+	// Unkey both levels while triples still match their table entries.
+	for _, r := range levL {
+		m.uniqueDelete(r)
+	}
+	for _, r := range levY {
+		m.uniqueDelete(r)
+	}
+	// Rekey: old level-l+1 nodes decide their variable at level l now;
+	// movers decide theirs at l+1. Slots and children are untouched, so
+	// external Refs keep their meaning.
+	newL := make([]Ref, 0, len(deps)+len(levY))
+	for _, d := range deps {
+		newL = append(newL, d.r)
+	}
+	for _, r := range levY {
+		m.nodes[r].level = lx
+		m.uniqueInsert(r)
+		newL = append(newL, r)
+	}
+	newL1 := make([]Ref, 0, len(movers)+len(deps))
+	for _, r := range movers {
+		m.nodes[r].level = ly
+		m.uniqueInsert(r)
+		newL1 = append(newL1, r)
+	}
+	rs.levels[l] = newL
+	rs.levels[l+1] = newL1
+	for i, r := range newL {
+		rs.pos[r] = int32(i)
+	}
+	for i, r := range newL1 {
+		rs.pos[r] = int32(i)
+	}
+	// Rewrite dependents in place as deciders of the other variable:
+	// F = y ? (x?f11:f01) : (x?f10:f00). Distinct canonical functions
+	// produce distinct triples, so the in-place reinsertions never
+	// collide; mkSwap interns the two new cofactors with full sharing.
+	for _, d := range deps {
+		g0 := m.mkSwap(ly, d.f00, d.f10)
+		g1 := m.mkSwap(ly, d.f01, d.f11)
+		n := &m.nodes[d.r]
+		of0, of1 := n.lo, n.hi
+		n.level, n.lo, n.hi = lx, g0, g1
+		m.uniqueInsert(d.r)
+		rs.refcnt[g0]++
+		rs.refcnt[g1]++
+		m.deferDecRef(of0)
+		m.deferDecRef(of1)
+	}
+	m.collectDead()
+	m.swapVarMaps(l)
+}
+
+// mkSwap interns (level, lo, hi) during a swap: unique-table sharing
+// with movers and previously created nodes, slot reuse from the free
+// list, level index and refcount maintenance, and a budget poll. It
+// bypasses the operation caches entirely.
+func (m *Manager) mkSwap(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	mask := uint64(len(m.unique) - 1)
+	idx := tripleHash(level, lo, hi) & mask
+	for {
+		r := m.unique[idx]
+		if r == False {
+			break
+		}
+		n := &m.nodes[r]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return r
+		}
+		idx = (idx + 1) & mask
+	}
+	rs := m.rs
+	var r Ref
+	if k := len(rs.free); k > 0 {
+		r = rs.free[k-1]
+		rs.free = rs.free[:k-1]
+		m.nodes[r] = node{level: level, lo: lo, hi: hi}
+	} else {
+		if len(m.nodes) == cap(m.nodes) {
+			step := cap(m.nodes) / 2
+			if step < nodeChunk {
+				step = nodeChunk
+			}
+			ns := make([]node, len(m.nodes), cap(m.nodes)+step)
+			copy(ns, m.nodes)
+			m.nodes = ns
+		}
+		r = Ref(len(m.nodes))
+		m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+		rs.refcnt = append(rs.refcnt, 0)
+		rs.pos = append(rs.pos, 0)
+	}
+	m.uniqueInsert(r)
+	rs.refcnt[r] = 0
+	rs.refcnt[lo]++
+	rs.refcnt[hi]++
+	rs.pos[r] = int32(len(rs.levels[level]))
+	rs.levels[level] = append(rs.levels[level], r)
+	if m.budget != nil {
+		m.pollBudget()
+	}
+	return r
+}
+
+// deferDecRef decrements a reference count and queues the node for
+// collection when it reaches zero. Terminals never queue.
+func (m *Manager) deferDecRef(r Ref) {
+	rs := m.rs
+	rs.refcnt[r]--
+	if r > True && rs.refcnt[r] == 0 {
+		rs.dead = append(rs.dead, r)
+	}
+}
+
+// collectDead drains the death worklist: each dead node leaves the
+// unique table and its level list, releases its children (cascading),
+// and frees its slot for reuse.
+func (m *Manager) collectDead() {
+	rs := m.rs
+	for len(rs.dead) > 0 {
+		r := rs.dead[len(rs.dead)-1]
+		rs.dead = rs.dead[:len(rs.dead)-1]
+		if rs.refcnt[r] != 0 {
+			continue
+		}
+		n := &m.nodes[r]
+		m.uniqueDelete(r)
+		list := rs.levels[n.level]
+		p := rs.pos[r]
+		last := list[len(list)-1]
+		list[p] = last
+		rs.pos[last] = p
+		rs.levels[n.level] = list[:len(list)-1]
+		m.deferDecRef(n.lo)
+		m.deferDecRef(n.hi)
+		rs.free = append(rs.free, r)
+	}
+}
+
+// swapVarMaps exchanges the variable↔level maps for levels l and l+1.
+func (m *Manager) swapVarMaps(l int) {
+	x, y := m.varAtLevel[l], m.varAtLevel[l+1]
+	m.varAtLevel[l], m.varAtLevel[l+1] = y, x
+	m.levelOfVar[x], m.levelOfVar[y] = int32(l+1), int32(l)
+}
+
+// uniqueInsert places an already-built node into the unique table (no
+// lookup — the caller guarantees the triple is absent), growing at 3/4
+// load like mk.
+func (m *Manager) uniqueInsert(r Ref) {
+	if 4*(m.uniqueCount+1) > 3*len(m.unique) {
+		m.growUnique()
+	}
+	n := &m.nodes[r]
+	mask := uint64(len(m.unique) - 1)
+	idx := tripleHash(n.level, n.lo, n.hi) & mask
+	for m.unique[idx] != False {
+		idx = (idx + 1) & mask
+	}
+	m.unique[idx] = r
+	m.uniqueCount++
+}
+
+// uniqueDelete removes a node from the open-addressed table with
+// backward-shift rehoming, preserving every other entry's probe chain.
+// The node's triple must still match its entry (delete before mutate).
+func (m *Manager) uniqueDelete(r Ref) {
+	n := &m.nodes[r]
+	mask := uint64(len(m.unique) - 1)
+	idx := tripleHash(n.level, n.lo, n.hi) & mask
+	for m.unique[idx] != r {
+		if m.unique[idx] == False {
+			return // not interned (already deleted)
+		}
+		idx = (idx + 1) & mask
+	}
+	m.unique[idx] = False
+	m.uniqueCount--
+	// Backward shift: walk the cluster, pulling entries whose home slot
+	// lies at or cyclically before the hole back into it.
+	hole := idx
+	j := idx
+	for {
+		j = (j + 1) & mask
+		s := m.unique[j]
+		if s == False {
+			return
+		}
+		sn := &m.nodes[s]
+		home := tripleHash(sn.level, sn.lo, sn.hi) & mask
+		if ((j - home) & mask) >= ((j - hole) & mask) {
+			m.unique[hole] = s
+			m.unique[j] = False
+			hole = j
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package bdd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/logic"
+)
+
+// andOrPairs builds f = (a0·b0) + (a1·b1) + ... + (a_{k-1}·b_{k-1}),
+// the textbook order-sensitive function: ~3k nodes when the pairs are
+// adjacent in the order, ~2^k when the a's all precede the b's.
+func andOrPairs(k int) *logic.Network {
+	n := logic.New("andorpairs")
+	as := make([]logic.NodeID, k)
+	bs := make([]logic.NodeID, k)
+	for i := 0; i < k; i++ {
+		as[i] = n.AddInput("a" + string(rune('0'+i%10)) + string(rune('0'+i/10)))
+	}
+	for i := 0; i < k; i++ {
+		bs[i] = n.AddInput("b" + string(rune('0'+i%10)) + string(rune('0'+i/10)))
+	}
+	acc := n.AddAnd(as[0], bs[0])
+	for i := 1; i < k; i++ {
+		acc = n.AddOr(acc, n.AddAnd(as[i], bs[i]))
+	}
+	n.MarkOutput("f", acc)
+	return n
+}
+
+// checkAgainstNetwork verifies every protected network-node BDD still
+// computes its gate function under random assignments.
+func checkAgainstNetwork(t *testing.T, n *logic.Network, nb *NetworkBDDs, rng *rand.Rand, trials int) {
+	t.Helper()
+	numVars := nb.Manager.NumVars()
+	assignment := make([]bool, numVars)
+	for trial := 0; trial < trials; trial++ {
+		for i := range assignment {
+			assignment[i] = rng.Intn(2) == 0
+		}
+		values := n.Eval(assignment, nil)
+		for i, ref := range nb.NodeRefs {
+			if got := nb.Manager.Eval(ref, assignment); got != values[i] {
+				t.Fatalf("node %d: BDD %v, network %v under %v", i, got, values[i], assignment)
+			}
+		}
+	}
+}
+
+// TestSwapLevelsPropertyRandom: arbitrary SwapLevels sequences preserve
+// protected-root semantics — every network-node BDD still evaluates
+// correctly, the live-node count equals a fresh reachability count, and
+// a canonical rebuild under the final order yields an identical shared
+// node count (the table stayed reduced and canonical).
+func TestSwapLevelsPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetwork(rng, 7, 30)
+		nb, err := BuildNetwork(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := nb.Manager
+		for s := 0; s < 40; s++ {
+			if err := m.SwapLevels(rng.Intn(m.NumVars() - 1)); err != nil {
+				t.Fatalf("trial %d swap %d: %v", trial, s, err)
+			}
+		}
+		checkAgainstNetwork(t, n, nb, rng, 32)
+		if got, want := m.LiveNodes(), m.NodeCount(nb.NodeRefs...); got != want {
+			t.Fatalf("trial %d: LiveNodes = %d, reachable = %d", trial, got, want)
+		}
+		if got, want := m.NodeCount(nb.NodeRefs...), CountUnderOrder(m, nb.NodeRefs, m.Order()); got != want {
+			t.Fatalf("trial %d: in-place count %d != canonical rebuild %d under same order", trial, got, want)
+		}
+	}
+}
+
+// TestSwapLevelsOutOfRange: the primitive rejects bad levels.
+func TestSwapLevelsOutOfRange(t *testing.T) {
+	m := New(4)
+	for _, l := range []int{-1, 3, 7} {
+		if err := m.SwapLevels(l); err == nil {
+			t.Errorf("SwapLevels(%d) accepted on 4 variables", l)
+		}
+	}
+}
+
+// TestReorderAgainstSiftOracle: the in-place reorderer must preserve
+// semantics, never end larger than it started, and agree exactly with
+// the rebuild-based oracle's count for the order it picked. The oracle
+// (Sift) itself bounds how good a single sifting pass can be; the
+// in-place pass must land within it and the start size.
+func TestReorderAgainstSiftOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 15; trial++ {
+		n := randomNetwork(rng, 8, 40)
+		nb, err := BuildNetwork(n, rng.Perm(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := nb.Manager
+		before := m.NodeCount(nb.NodeRefs...)
+		if err := m.Reorder(); err != nil {
+			t.Fatalf("trial %d: Reorder: %v", trial, err)
+		}
+		after := m.NodeCount(nb.NodeRefs...)
+		if after > before {
+			t.Fatalf("trial %d: reorder grew the forest %d -> %d", trial, before, after)
+		}
+		if got := CountUnderOrder(m, nb.NodeRefs, m.Order()); got != after {
+			t.Fatalf("trial %d: oracle rebuild under sifted order = %d, in-place = %d", trial, got, after)
+		}
+		checkAgainstNetwork(t, n, nb, rng, 32)
+		if m.Reorders() != 1 {
+			t.Fatalf("trial %d: Reorders = %d, want 1", trial, m.Reorders())
+		}
+	}
+}
+
+// TestReorderShrinksPathologicalOrder: under the a's-then-b's order the
+// pairs function needs ~2^k nodes; one in-place sifting pass must
+// recover an order within 2× of the known-good interleaved size.
+func TestReorderShrinksPathologicalOrder(t *testing.T) {
+	const k = 8
+	n := andOrPairs(k)
+	nb, err := BuildNetwork(n, nil) // natural order: a0..a7 b0..b7 — pathological
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nb.Manager
+	before := m.NodeCount(nb.OutputRefs(n)...)
+	if before < 1<<k {
+		t.Fatalf("setup: pathological order built only %d nodes, want >= %d", before, 1<<k)
+	}
+	if err := m.Reorder(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.NodeCount(nb.OutputRefs(n)...)
+	if after > 6*k {
+		t.Fatalf("reorder left %d output nodes, want <= %d (pairs order ~3k)", after, 6*k)
+	}
+	rng := rand.New(rand.NewSource(7))
+	checkAgainstNetwork(t, n, nb, rng, 64)
+}
+
+// TestReorderDeterministic: two identical build+reorder runs agree on
+// the final order, node count, and slot-level state (orders and counts
+// are pure functions of table state).
+func TestReorderDeterministic(t *testing.T) {
+	run := func() ([]int, int) {
+		n := andOrPairs(6)
+		nb, err := BuildNetwork(n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nb.Manager.Reorder(); err != nil {
+			t.Fatal(err)
+		}
+		return nb.Manager.Order(), nb.Manager.LiveNodes()
+	}
+	o1, c1 := run()
+	o2, c2 := run()
+	if c1 != c2 {
+		t.Fatalf("node counts differ across identical runs: %d vs %d", c1, c2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("orders differ at level %d: %v vs %v", i, o1, o2)
+		}
+	}
+}
+
+// TestReorderBudgetTripMidReorder: a node-cap trip inside a reorder is
+// the usual CUDD-style interrupt — Reorder returns ErrBDDNodes, and the
+// manager, while unusable, is not corrupt: a Reset* fully restores it.
+func TestReorderBudgetTripMidReorder(t *testing.T) {
+	n := andOrPairs(6)
+	nb, err := BuildNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nb.Manager
+	live := m.LiveNodes()
+	// Cap below the current live count: the first swap-created node
+	// trips mid-reorder.
+	m.SetBudget(budget.New(live/2, 0))
+	if err := m.Reorder(); !errors.Is(err, budget.ErrBDDNodes) {
+		t.Fatalf("Reorder under tiny cap: err = %v, want ErrBDDNodes", err)
+	}
+	// Unusable-but-not-corrupt: the standard retry path (Reset under a
+	// looser budget) rebuilds the same forest as a fresh manager.
+	m.SetBudget(budget.New(0, 0))
+	nb2, err := BuildNetworkLitsIn(m, n, m.NumVars(), nil, nil)
+	if err != nil {
+		t.Fatalf("rebuild after tripped reorder: %v", err)
+	}
+	fresh, err := BuildNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nb2.Manager.NodeCount(nb2.NodeRefs...), fresh.Manager.NodeCount(fresh.NodeRefs...); got != want {
+		t.Fatalf("post-trip rebuild count %d != fresh build %d", got, want)
+	}
+}
+
+// TestReorderCancellationLandsInside: a cancelled token is observed by
+// the per-swap poll, so cancellation lands inside a reorder promptly.
+func TestReorderCancellationLandsInside(t *testing.T) {
+	n := andOrPairs(6)
+	nb, err := BuildNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := budget.New(0, 0)
+	nb.Manager.SetBudget(tok)
+	tok.Cancel(nil)
+	if err := nb.Manager.Reorder(); !errors.Is(err, budget.ErrCancelled) {
+		t.Fatalf("Reorder on cancelled token: err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestAutoReorderDuringBuild: with auto-reorder enabled and a budget
+// fraction point below the pathological peak, the build reorders itself
+// mid-flight and completes under a node cap the plain build blows —
+// deterministically, with exact probabilities intact.
+func TestAutoReorderDuringBuild(t *testing.T) {
+	const k = 8
+	n := andOrPairs(k)
+	// Plain build under the cap must trip...
+	capped := New(2 * k)
+	capped.SetBudget(budget.New(150, 0))
+	if _, err := BuildNetworkLitsIn(capped, n, 2*k, nil, nil); !errors.Is(err, budget.ErrBDDNodes) {
+		t.Fatalf("plain build under cap: err = %v, want ErrBDDNodes", err)
+	}
+	// ...while the auto-reordering build completes.
+	build := func() *NetworkBDDs {
+		m := New(2 * k)
+		m.SetBudget(budget.New(150, 0))
+		m.SetAutoReorder(true)
+		nb, err := BuildNetworkLitsIn(m, n, 2*k, nil, nil)
+		if err != nil {
+			t.Fatalf("auto-reorder build: %v", err)
+		}
+		if m.Reorders() == 0 {
+			t.Fatal("auto-reorder build finished without reordering")
+		}
+		return nb
+	}
+	nb1 := build()
+	nb2 := build()
+	// Deterministic: identical orders and node counts across runs.
+	o1, o2 := nb1.Manager.Order(), nb2.Manager.Order()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("auto-reorder orders differ at level %d: %v vs %v", i, o1, o2)
+		}
+	}
+	if nb1.Manager.LiveNodes() != nb2.Manager.LiveNodes() {
+		t.Fatalf("auto-reorder live counts differ: %d vs %d", nb1.Manager.LiveNodes(), nb2.Manager.LiveNodes())
+	}
+	// Exactness: probabilities match an unbudgeted, unreordered build.
+	probs := make([]float64, 2*k)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	ref, err := BuildNetwork(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nb1.Manager.ProbabilityMany(nb1.OutputRefs(n), probs)
+	want := ref.Manager.ProbabilityMany(ref.OutputRefs(n), probs)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("output %d probability: sifted %v, reference %v", i, got[i], want[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	checkAgainstNetwork(t, n, nb1, rng, 64)
+}
+
+// TestSiftOracleUnchangedByIndexFix: the position-indexed Sift must
+// behave exactly as the original rescanning implementation — improving
+// the known pathological case to the interleaved-order count.
+func TestSiftOracleUnchangedByIndexFix(t *testing.T) {
+	m := New(6)
+	f := m.OrN(
+		m.And(m.Var(0), m.Var(1)),
+		m.And(m.Var(2), m.Var(3)),
+		m.And(m.Var(4), m.Var(5)),
+	)
+	// Interleave badly first.
+	bad := NewWithOrder(6, []int{0, 2, 4, 1, 3, 5})
+	g := Transfer(m, f, bad, nil)
+	order, count := Sift(bad, []Ref{g})
+	if count != 6 {
+		t.Fatalf("Sift count = %d, want 6", count)
+	}
+	if got := CountUnderOrder(bad, []Ref{g}, order); got != count {
+		t.Fatalf("Sift order recount = %d, want %d", got, count)
+	}
+}

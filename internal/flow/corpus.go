@@ -40,10 +40,10 @@ type CorpusRow struct {
 	// (internal/serve) must never store them.
 	TimedOut bool
 	// Engine names the degradation-chain stage that produced the row
-	// ("" = the configured engine; see EngineDepthWeighted,
-	// EngineMonteCarlo). Like the row values it is a pure function of
-	// (entry content, configuration) — budget trips are decided per BDD
-	// build, never by scheduling.
+	// ("" = the configured engine; see EngineExactSifted,
+	// EngineDepthWeighted, EngineMonteCarlo). Like the row values it is
+	// a pure function of (entry content, configuration) — budget trips
+	// are decided per BDD build, never by scheduling.
 	Engine string
 	// BudgetTrips counts how many resource-budget trips (BDD node caps,
 	// sim vector clamps) occurred across every degradation stage this

@@ -44,6 +44,31 @@ const (
 	ScoreNaive
 )
 
+// BDDReorderMode selects how budgeted exact-BDD builds use in-place
+// dynamic variable reordering (bdd.Manager sifting). Reordering is
+// deterministic — the trigger and every sift decision are pure
+// functions of table state — but semantic: the probability summation
+// order follows the DAG shape, so the mode is part of a configuration's
+// canonical (content-addressed) form.
+type BDDReorderMode int
+
+// BDD reordering modes.
+const (
+	// ReorderAuto — the default — runs the configured engine without
+	// reordering first; when a build trips the BDD node budget, a
+	// reorder-and-retry stage (the exact engine with auto-reordering)
+	// runs before the chain degrades to cheaper engines. Rows rescued by
+	// that stage record Engine = "exact-sifted".
+	ReorderAuto BDDReorderMode = iota
+	// ReorderAlways arms auto-reordering in the configured stage itself;
+	// the chain has no separate sifted stage (a trip falls straight to
+	// depth-weighted).
+	ReorderAlways
+	// ReorderOff disables reordering everywhere, reproducing the plain
+	// exact → depth-weighted → Monte-Carlo chain exactly.
+	ReorderOff
+)
+
 // Config parameterizes the flows. The zero value is completed by
 // defaults().
 type Config struct {
@@ -119,6 +144,23 @@ type Config struct {
 	// run (0 = unlimited). The clamp applies before sharding, so it is
 	// deterministic for every Workers/SimShards setting.
 	SimVectorBudget int
+	// BDDReorder selects the dynamic-reordering mode for budgeted exact
+	// builds (see BDDReorderMode; the zero value, ReorderAuto, inserts a
+	// reorder-and-retry stage into the degradation chain). Semantic:
+	// part of the canonical content-addressed form.
+	BDDReorder BDDReorderMode
+}
+
+// estOptions returns the probability-engine options bound to a budget
+// token and the configured reorder mode. Every flow site building
+// power.Options goes through it, so EstOpts.Reorder is always derived
+// from Config.BDDReorder — the knob the content-addressed cache key
+// covers — never from caller-set Options state.
+func (c Config) estOptions(tok *budget.T) power.Options {
+	o := c.EstOpts
+	o.Budget = tok
+	o.Reorder = c.BDDReorder == ReorderAlways
+	return o
 }
 
 func (c *Config) defaults() {
@@ -303,9 +345,7 @@ func phaseScorer(net *logic.Network, probs []float64, cfg Config, tok *budget.T)
 	if cfg.PhaseScoring == ScoreNaive {
 		return nil, nil
 	}
-	opts := cfg.EstOpts
-	opts.Budget = tok
-	table, err := power.NewConeTable(net, *cfg.Lib, probs, opts)
+	table, err := power.NewConeTable(net, *cfg.Lib, probs, cfg.estOptions(tok))
 	if err != nil {
 		return nil, fmt.Errorf("flow: cone table: %w", err)
 	}
@@ -338,9 +378,7 @@ func synthesizeMPAssignment(net *logic.Network, probs []float64, cfg Config, tok
 	} else {
 		// Sequential heuristic: the estimator's reusable BDD manager
 		// saves a forest allocation per candidate, bit-identically.
-		estOpts := cfg.EstOpts
-		estOpts.Budget = tok
-		popts.Evaluate = power.NewEstimator(*cfg.Lib, probs, estOpts).Evaluate
+		popts.Evaluate = power.NewEstimator(*cfg.Lib, probs, cfg.estOptions(tok)).Evaluate
 	}
 	asg, res, est, _, err := phase.MinPower(net, popts)
 	if err != nil {
@@ -385,9 +423,7 @@ func finishSynthesis(asg phase.Assignment, res *phase.Result, net *logic.Network
 		return nil, err
 	}
 	probs := uniformProbs(net, cfg.InputProb)
-	estOpts := cfg.EstOpts
-	estOpts.Budget = tok
-	est, err := power.Estimate(b, probs, estOpts)
+	est, err := power.Estimate(b, probs, cfg.estOptions(tok))
 	if err != nil {
 		return nil, fmt.Errorf("flow: Estimate: %w", err)
 	}
@@ -486,9 +522,7 @@ func runCircuitTimed(c gen.NamedCircuit, cfg Config, tok *budget.T) (*Row, error
 			return simErr
 		}
 		s.SimPower = rep.Total
-		estOpts := cfg.EstOpts
-		estOpts.Budget = tok
-		est, estErr := power.Estimate(s.Block, probs, estOpts)
+		est, estErr := power.Estimate(s.Block, probs, cfg.estOptions(tok))
 		if estErr != nil {
 			return estErr
 		}

@@ -52,6 +52,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("flow: config field BDDNodeBudget: %d is negative", c.BDDNodeBudget)
 	case c.SimVectorBudget < 0:
 		return fmt.Errorf("flow: config field SimVectorBudget: %d is negative", c.SimVectorBudget)
+	case c.BDDReorder < 0 || c.BDDReorder > ReorderOff:
+		return fmt.Errorf("flow: config field BDDReorder: unknown mode %d", int(c.BDDReorder))
 	case c.EstOpts.Method < 0 || c.EstOpts.Method > power.MonteCarlo:
 		return fmt.Errorf("flow: config field EstOpts.Method: unknown method %d", int(c.EstOpts.Method))
 	case c.EstOpts.Depth < 0:
@@ -75,6 +77,11 @@ const (
 	// probability estimation, which builds no BDDs and so cannot trip
 	// the node budget.
 	EngineMonteCarlo = "monte-carlo"
+	// EngineExactSifted marks a row whose configured engine blew the BDD
+	// node budget but whose retry with in-place dynamic reordering
+	// (Config.BDDReorder = ReorderAuto, the default) completed exactly —
+	// full-accuracy probabilities, merely under a sifted variable order.
+	EngineExactSifted = "exact-sifted"
 )
 
 // degradeStage is one rung of the engine-degradation chain: an engine
@@ -87,13 +94,25 @@ type degradeStage struct {
 
 // degradeStages returns the chain for a configuration: just the
 // configured engine when no BDD node budget is set (nothing can trip),
-// otherwise configured → limited-depth → Monte-Carlo. The chain is a
-// pure function of the configuration, so which stage a circuit lands on
-// is deterministic — independent of Workers, shard geometry, or
-// scheduling.
+// otherwise configured → [exact-sifted] → limited-depth → Monte-Carlo.
+// The reorder-and-retry stage appears only in the default ReorderAuto
+// mode: it reruns the configured engine with in-place dynamic
+// reordering armed, which rescues exact rows whose unsifted build blows
+// the budget. (If the configured engine builds no reorderable BDDs the
+// stage trips identically and the chain falls through — wasted work only
+// on the rare row that was already degrading.) Under ReorderAlways the
+// configured stage itself reorders, and under ReorderOff the chain is
+// the plain PR-8 one. The chain is a pure function of the
+// configuration, so which stage a circuit lands on is deterministic —
+// independent of Workers, shard geometry, or scheduling.
 func degradeStages(cfg Config) []degradeStage {
 	stages := []degradeStage{{engine: ""}}
 	if cfg.BDDNodeBudget > 0 {
+		if cfg.BDDReorder == ReorderAuto {
+			stages = append(stages,
+				degradeStage{EngineExactSifted, func(c *Config) { c.BDDReorder = ReorderAlways }},
+			)
+		}
 		stages = append(stages,
 			degradeStage{EngineDepthWeighted, func(c *Config) { c.EstOpts.Method = power.LimitedDepth }},
 			degradeStage{EngineMonteCarlo, func(c *Config) { c.EstOpts.Method = power.MonteCarlo }},

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/gen"
 	"repro/internal/power"
 )
 
@@ -41,6 +42,8 @@ func TestConfigValidate(t *testing.T) {
 		{"AnnealSteps", Config{AnnealSteps: -1}},
 		{"BDDNodeBudget", Config{BDDNodeBudget: -1}},
 		{"SimVectorBudget", Config{SimVectorBudget: -1}},
+		{"BDDReorder", Config{BDDReorder: 99}},
+		{"BDDReorder", Config{BDDReorder: -1}},
 		{"EstOpts.Method", Config{EstOpts: power.Options{Method: 99}}},
 		{"EstOpts.Depth", Config{EstOpts: power.Options{Depth: -1}}},
 		{"EstOpts.MaxFrontier", Config{EstOpts: power.Options{MaxFrontier: -1}}},
@@ -59,20 +62,38 @@ func TestConfigValidate(t *testing.T) {
 }
 
 // TestDegradeStages: the chain exists only when a BDD node budget is
-// set, and its shape is a pure function of the config.
+// set, its shape is a pure function of the config, and the reorder mode
+// controls whether the exact-sifted retry stage appears.
 func TestDegradeStages(t *testing.T) {
 	if got := degradeStages(Config{}); len(got) != 1 || got[0].engine != "" {
 		t.Errorf("no budget should mean a single configured-engine stage, got %d stages", len(got))
 	}
-	got := degradeStages(Config{BDDNodeBudget: 100})
-	want := []string{"", EngineDepthWeighted, EngineMonteCarlo}
-	if len(got) != len(want) {
-		t.Fatalf("budgeted chain has %d stages, want %d", len(got), len(want))
+	cases := []struct {
+		name string
+		mode BDDReorderMode
+		want []string
+	}{
+		{"auto", ReorderAuto, []string{"", EngineExactSifted, EngineDepthWeighted, EngineMonteCarlo}},
+		{"always", ReorderAlways, []string{"", EngineDepthWeighted, EngineMonteCarlo}},
+		{"off", ReorderOff, []string{"", EngineDepthWeighted, EngineMonteCarlo}},
 	}
-	for i, st := range got {
-		if st.engine != want[i] {
-			t.Errorf("stage %d engine = %q, want %q", i, st.engine, want[i])
+	for _, c := range cases {
+		got := degradeStages(Config{BDDNodeBudget: 100, BDDReorder: c.mode})
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: budgeted chain has %d stages, want %d", c.name, len(got), len(c.want))
 		}
+		for i, st := range got {
+			if st.engine != c.want[i] {
+				t.Errorf("%s: stage %d engine = %q, want %q", c.name, i, st.engine, c.want[i])
+			}
+		}
+	}
+	// The sifted stage arms reordering by rewriting the mode.
+	st := degradeStages(Config{BDDNodeBudget: 100})[1]
+	var cfg Config
+	st.apply(&cfg)
+	if cfg.BDDReorder != ReorderAlways {
+		t.Errorf("exact-sifted stage rewrote BDDReorder to %d, want ReorderAlways", cfg.BDDReorder)
 	}
 }
 
@@ -121,6 +142,55 @@ func TestDegradationChainCompletes(t *testing.T) {
 			t.Errorf("workers=%d: degraded row differs from workers=1:\n%+v\nvs\n%+v",
 				workers, got.row, first.row)
 		}
+	}
+}
+
+// TestExactSiftedRescue: a circuit whose unsifted exact build blows the
+// node budget but fits once the manager reorders itself lands on the
+// exact-sifted stage — full-accuracy probabilities under a sifted
+// variable order — and the rescued row is byte-identical across worker
+// counts. Under ReorderOff the same circuit/budget degrades to
+// depth-weighted, pinning down exactly what the new stage buys.
+func TestExactSiftedRescue(t *testing.T) {
+	c := gen.NamedCircuit{
+		Name: "sifted", Desc: "Test",
+		Net: gen.Generate(gen.Params{Name: "sifted", Inputs: 20, Outputs: 4, Gates: 100, Seed: 0x5AA11}),
+	}
+	base := Config{
+		SimVectors:    256,
+		EstOpts:       power.Options{Method: power.Exact},
+		BDDNodeBudget: 200, // between the sifted and unsifted peak node counts
+	}
+	run := func(workers int, mode BDDReorderMode) (*Row, string, int) {
+		cfg := base
+		cfg.Workers = workers
+		cfg.BDDReorder = mode
+		row, engine, trips, err := runCircuitDegraded(context.Background(), c, cfg, false)
+		if err != nil {
+			t.Fatalf("workers=%d mode=%d: %v", workers, mode, err)
+		}
+		return row, engine, trips
+	}
+	row1, engine, trips := run(1, ReorderAuto)
+	if engine != EngineExactSifted {
+		t.Fatalf("engine = %q, want %q", engine, EngineExactSifted)
+	}
+	if trips != 1 {
+		t.Errorf("trips = %d, want 1 (only the unsifted stage trips)", trips)
+	}
+	for _, workers := range []int{2, 8} {
+		row, eng, tr := run(workers, ReorderAuto)
+		if eng != engine || tr != trips {
+			t.Errorf("workers=%d: engine/trips (%q, %d) differ from workers=1 (%q, %d)", workers, eng, tr, engine, trips)
+		}
+		if !reflect.DeepEqual(row, row1) {
+			t.Errorf("workers=%d: rescued row differs from workers=1:\n%+v\nvs\n%+v", workers, row, row1)
+		}
+	}
+	// Without reordering the same circuit/budget must degrade.
+	_, offEngine, _ := run(1, ReorderOff)
+	if offEngine != EngineDepthWeighted && offEngine != EngineMonteCarlo {
+		t.Errorf("ReorderOff engine = %q, want a degraded engine", offEngine)
 	}
 }
 

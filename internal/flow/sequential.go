@@ -115,9 +115,7 @@ func finishSynthesisProbs(asg phase.Assignment, res *phase.Result, probs []float
 	if err != nil {
 		return nil, err
 	}
-	estOpts := cfg.EstOpts
-	estOpts.Budget = tok
-	est, err := power.Estimate(b, probs, estOpts)
+	est, err := power.Estimate(b, probs, cfg.estOptions(tok))
 	if err != nil {
 		return nil, err
 	}

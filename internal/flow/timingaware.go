@@ -101,7 +101,7 @@ func PenalizedEvaluator(cfg Config, andPenalty float64, probs []float64) phase.E
 	cfg.defaults()
 	lib := *cfg.Lib
 	lib.AndPenalty = andPenalty
-	return power.Evaluator(lib, probs, cfg.EstOpts)
+	return power.Evaluator(lib, probs, cfg.estOptions(nil))
 }
 
 // PenalizedScorer is PenalizedEvaluator's cone-table counterpart: the
@@ -112,5 +112,5 @@ func PenalizedScorer(net *logic.Network, cfg Config, andPenalty float64, probs [
 	cfg.defaults()
 	lib := *cfg.Lib
 	lib.AndPenalty = andPenalty
-	return power.NewConeTable(net, lib, probs, cfg.EstOpts)
+	return power.NewConeTable(net, lib, probs, cfg.estOptions(nil))
 }

@@ -249,6 +249,20 @@ func X3() NamedCircuit {
 	}
 }
 
+// X4 is a synthetic beyond-Table-1 twin: an x3-shaped control block
+// scaled past the paper's largest circuit (288 PIs vs x3's 235), with
+// the deep convergent cones of control logic (high Locality). It is
+// the reordering benchmark's frontier circuit: its exact BDD forest
+// blows the default node budget under the static build order but fits
+// once in-place sifting reorders the table, so it completes
+// exact-sifted where the PR-8 chain had to degrade (BENCH_9.json).
+func X4() NamedCircuit {
+	return NamedCircuit{
+		Name: "x4", Desc: "Synthetic (beyond Table 1)",
+		Net: Generate(Params{Name: "x4", Inputs: 288, Outputs: 96, Gates: 900, Seed: 0x0A404, OrProb: 0.70, Locality: 0.85}),
+	}
+}
+
 // The wide twins exercise the beyond-exhaustive regime: 24, 32, and 48
 // outputs put 2^k enumeration out of reach (or at its edge), which is
 // the workload class the branch-and-bound and annealing search
@@ -295,12 +309,12 @@ func FromNetwork(name, desc string, net *logic.Network) NamedCircuit {
 	return NamedCircuit{Name: name, Desc: desc, Net: net}
 }
 
-// KnownCircuits returns every named synthetic twin — the Table 1 set
-// plus the beyond-exhaustive wide set. This is the set genbench can
-// emit to disk and the corpus smoke gate compares file-parsed rows
-// against.
+// KnownCircuits returns every named synthetic twin — the Table 1 set,
+// the beyond-Table-1 x4 twin, plus the beyond-exhaustive wide set.
+// This is the set genbench can emit to disk and the corpus smoke gate
+// compares file-parsed rows against.
 func KnownCircuits() []NamedCircuit {
-	return append(Table1Circuits(), WideCircuits()...)
+	return append(append(Table1Circuits(), X4()), WideCircuits()...)
 }
 
 // FileName is the twin's on-disk base name (lowercase, spaces removed)

@@ -70,6 +70,15 @@ type Options struct {
 	// cancellation, MonteCarlo polls cancellation per window. Excluded
 	// from JSON so it never fragments content-addressed cache keys.
 	Budget *budget.T `json:"-"`
+	// Reorder enables in-place dynamic variable reordering (sifting) in
+	// the exact engine's BDD manager: builds reorder themselves when
+	// live nodes double or cross the budget-fraction point (see
+	// bdd.Manager.SetAutoReorder). Reordering is deterministic but
+	// semantic — probability summation order changes with the DAG shape
+	// — so the flow derives it from Config.BDDReorder (which *is* part
+	// of the content-addressed key) and overrides whatever is set here;
+	// like Budget it is excluded from JSON.
+	Reorder bool `json:"-"`
 }
 
 // Report breaks down the estimated power of a block.
@@ -125,13 +134,15 @@ func blockNodeProbs(mgr *bdd.Manager, b *domino.Block, inputProbs []float64, opt
 			}
 			return nodeProbs, false, nil
 		}
-		if mgr == nil && opts.Budget != nil {
-			// The exact engine must build under the token; materialize
-			// the manager here so the budget can be attached.
+		if mgr == nil && (opts.Budget != nil || opts.Reorder) {
+			// The exact engine must build under the token (and/or with
+			// auto-reorder armed); materialize the manager here so both
+			// can be attached.
 			mgr = bdd.New(numVars)
 		}
 		if mgr != nil {
 			mgr.SetBudget(opts.Budget)
+			mgr.SetAutoReorder(opts.Reorder)
 		}
 		ord := opts.Order
 		if ord == nil {

@@ -78,10 +78,16 @@ func CorpusTable(title string, rows []*flow.CorpusRow) string {
 //	    counts the BDD node-cap and sim vector-clamp trips across its
 //	    attempted stages). Rows no budget touched serialize byte-for-byte
 //	    as in version 2.
+//	4 — engine may now also be "exact-sifted": the configured exact
+//	    engine blew the BDD node budget but the retry with in-place
+//	    dynamic reordering (Rudell sifting) completed — full-accuracy
+//	    probabilities under a sifted variable order. No field changes;
+//	    rows untouched by reordering serialize byte-for-byte as in
+//	    version 3.
 //
 // dominod reports the version in the X-Dominod-Schema-Version response
 // header of its row streams; README.md documents the field list.
-const CorpusSchemaVersion = 3
+const CorpusSchemaVersion = 4
 
 // CorpusRecord is the flat JSONL projection of one corpus row — one
 // line per circuit, streamed while the batch runs. Size/power fields

@@ -40,6 +40,10 @@ func TestCanonicalCoversEveryConfigField(t *testing.T) {
 		// Budgets are semantic: tripping one changes which engine produced
 		// the row (CorpusRow.Engine) and the row's values — deterministically.
 		"BDDNodeBudget": true, "SimVectorBudget": true,
+		// The reorder mode changes the variable order exact probabilities
+		// are computed under and which degradation stage a budgeted row
+		// lands on, so it is part of the key.
+		"BDDReorder": true,
 	}
 	// Wall-clock knobs never change any result (the concurrency and
 	// packing contracts in internal/README.md), so Canonical must erase
@@ -128,6 +132,7 @@ func TestCacheKeySemanticChanges(t *testing.T) {
 		"Timing":             {Timing: &tp},
 		"BDDNodeBudget":      {BDDNodeBudget: 5000},
 		"SimVectorBudget":    {SimVectorBudget: 1024},
+		"BDDReorder":         {BDDReorder: flow.ReorderOff},
 		"EstOpts.MCVectors":  {EstOpts: power.Options{Method: power.MonteCarlo, MCVectors: 4096}},
 		"EstOpts.MCSeed":     {EstOpts: power.Options{Method: power.MonteCarlo, MCSeed: 7}},
 	}

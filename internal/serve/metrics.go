@@ -26,6 +26,7 @@ type metrics struct {
 	rowsTimedOut     atomic.Int64 // rows whose error was a timeout/cancellation
 	rowsDegradedBDD  atomic.Int64 // rows completed on the depth-weighted fallback stage
 	rowsDegradedMC   atomic.Int64 // rows completed on the Monte-Carlo fallback stage
+	rowsReordered    atomic.Int64 // rows rescued exactly by the reorder-and-retry stage
 	budgetTrips      atomic.Int64 // resource-budget trips summed over emitted rows
 }
 
@@ -50,6 +51,7 @@ func (m *metrics) write(w io.Writer, queued, cacheLen int, draining bool, uptime
 	counter("dominod_rows_total", "result rows emitted (cache hits included)", rows)
 	counter("dominod_rows_failed_total", "result rows carrying an error", m.rowsFailed.Load())
 	counter("dominod_rows_timed_out_total", "result rows whose error was a timeout or cancellation", m.rowsTimedOut.Load())
+	counter("dominod_rows_reordered_total", "rows rescued exactly by the BDD reorder-and-retry stage", m.rowsReordered.Load())
 	counter("dominod_rows_degraded_depth_total", "rows completed on the depth-weighted fallback engine", m.rowsDegradedBDD.Load())
 	counter("dominod_rows_degraded_mc_total", "rows completed on the Monte-Carlo fallback engine", m.rowsDegradedMC.Load())
 	counter("dominod_budget_trips_total", "resource-budget trips (BDD node caps, sim vector clamps) summed over rows", m.budgetTrips.Load())

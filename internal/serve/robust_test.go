@@ -8,6 +8,11 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/blif"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/power"
 )
 
 // waitStatus polls GET /v1/jobs/{id} until pred accepts the status (or
@@ -213,6 +218,7 @@ func TestBudgetDegradedRowCachedWithEngine(t *testing.T) {
 	for _, want := range []string{
 		"dominod_jobs_cancelled_total 0",
 		"dominod_budget_trips_total",
+		"dominod_rows_reordered_total",
 		"dominod_rows_degraded_depth_total",
 		"dominod_rows_degraded_mc_total",
 		"dominod_rows_timed_out_total 0",
@@ -220,5 +226,63 @@ func TestBudgetDegradedRowCachedWithEngine(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestExactSiftedRowCachedAndCounted: a circuit whose unsifted exact
+// build blows the node budget but fits after in-place reordering is
+// rescued by the exact-sifted stage over the HTTP surface — the row
+// records the engine, the dominod_rows_reordered_total counter tracks
+// it, and a resubmission is served from the content-addressed cache
+// with the engine intact (rescue is deterministic, so it caches).
+func TestExactSiftedRowCachedAndCounted(t *testing.T) {
+	net := gen.Generate(gen.Params{Name: "sifted", Inputs: 20, Outputs: 4, Gates: 100, Seed: 0x5AA11})
+	model, err := blif.WriteString(&blif.Model{Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgJSON, err := json.Marshal(flow.Config{
+		SimVectors:    256,
+		EstOpts:       power.Options{Method: power.Exact},
+		BDDNodeBudget: 200, // between the sifted and unsifted peak node counts
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := testServer(t, Options{FlowWorkers: 1})
+	st := decodeStatus(t, postRaw(t, ts.URL, "sifted.blif", []byte(model), string(cfgJSON), ""))
+	recs := fetchRows(t, ts.URL, st.ID)
+	if len(recs) != 1 || recs[0].Error != "" {
+		t.Fatalf("sifted circuit should complete without error, got %+v", recs)
+	}
+	if recs[0].Engine != flow.EngineExactSifted {
+		t.Fatalf("engine = %q, want %q", recs[0].Engine, flow.EngineExactSifted)
+	}
+	if recs[0].BudgetTrips != 1 {
+		t.Errorf("budget trips = %d, want 1 (only the unsifted stage trips)", recs[0].BudgetTrips)
+	}
+	if n := s.m.rowsReordered.Load(); n != 1 {
+		t.Errorf("rowsReordered = %d after first run, want 1", n)
+	}
+
+	// Resubmit: served from cache, engine preserved, counter still bumps
+	// (it counts emitted rows, cache hits included, like rowsTotal).
+	st2 := decodeStatus(t, postRaw(t, ts.URL, "sifted.blif", []byte(model), string(cfgJSON), ""))
+	recs2 := fetchRows(t, ts.URL, st2.ID)
+	if runs := s.FlowRuns(); runs != 1 {
+		t.Errorf("rescued row was not served from cache (%d flow runs, want 1)", runs)
+	}
+	if recs2[0].Engine != flow.EngineExactSifted || recs2[0].BudgetTrips != recs[0].BudgetTrips {
+		t.Errorf("cache dropped rescue metadata: first %+v, cached %+v", recs[0], recs2[0])
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "dominod_rows_reordered_total 2") {
+		t.Error("/metrics does not report dominod_rows_reordered_total 2 after resubmit")
 	}
 }

@@ -362,6 +362,8 @@ func (s *Server) countRow(row *flow.CorpusRow) {
 		s.m.rowsTimedOut.Add(1)
 	}
 	switch row.Engine {
+	case flow.EngineExactSifted:
+		s.m.rowsReordered.Add(1)
 	case flow.EngineDepthWeighted:
 		s.m.rowsDegradedBDD.Add(1)
 	case flow.EngineMonteCarlo:
