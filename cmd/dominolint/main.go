@@ -1,0 +1,84 @@
+// Command dominolint runs the repository's static-contract analyzer
+// suite (internal/lint) over package patterns and fails the build on
+// findings. It is the compile-time layer of the verification ladder:
+// below the runtime property tests, above plain go vet.
+//
+// Usage:
+//
+//	dominolint [-out findings.txt] [-list] [packages...]   # default ./...
+//	dominolint -dir internal/lint/testdata/src/seeded/flow # fixture mode
+//
+// Exit status: 0 clean, 1 findings, 2 operational error. The -dir mode
+// loads one directory through the fixture loader (no go list), which is
+// how CI proves the gate is live: a deliberately broken fixture must
+// make dominolint exit non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	out := flag.String("out", "", "also write findings to this file (always written, even when empty, so CI can upload it)")
+	dir := flag.String("dir", "", "check one directory via the fixture loader instead of go list patterns")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			dir := "-"
+			if a.Directive != "" {
+				dir = "//dominolint:" + a.Directive
+			}
+			fmt.Printf("%-10s %-24s %s\n", a.Name, dir, a.Doc)
+		}
+		return
+	}
+
+	var findings []lint.Finding
+	if *dir != "" {
+		pkg, err := lint.LoadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		findings = lint.CheckPackage(pkg, suite)
+	} else {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		pkgs, err := lint.LoadPackages("", patterns)
+		if err != nil {
+			fatal(err)
+		}
+		for _, pkg := range pkgs {
+			findings = append(findings, lint.CheckPackage(pkg, suite)...)
+		}
+	}
+
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintln(&b, f)
+	}
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dominolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dominolint:", err)
+	os.Exit(2)
+}

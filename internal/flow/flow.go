@@ -71,67 +71,99 @@ const (
 
 // Config parameterizes the flows. The zero value is completed by
 // defaults().
+//
+// Every field carries two pieces of cache-key bookkeeping, enforced at
+// build time by the dominolint cachekey analyzer (internal/lint):
+//
+//   - a `Cache-key: semantic.` or `Cache-key: wall-clock` doc marker —
+//     semantic fields are part of the content-addressed cache key,
+//     wall-clock fields by contract never change any result and are
+//     erased by Canonical;
+//   - a json tag equal to the field name, pinning the wire name of the
+//     canonical JSON that serve.CacheKey hashes.
 type Config struct {
 	// Lib is the domino cell library (default domino.DefaultLibrary).
-	Lib *domino.Library
+	// Cache-key: semantic.
+	Lib *domino.Library `json:"Lib"`
 	// InputProb is the signal probability applied to every primary input
 	// (the paper's tables use 0.5).
-	InputProb float64
+	// Cache-key: semantic.
+	InputProb float64 `json:"InputProb"`
 	// SimVectors is the Monte-Carlo cycle count for final measurement
 	// (default 4096).
-	SimVectors int
+	// Cache-key: semantic.
+	SimVectors int `json:"SimVectors"`
 	// SimSeed drives the measurement vectors.
-	SimSeed int64
+	// Cache-key: semantic.
+	SimSeed int64 `json:"SimSeed"`
 	// EstOpts selects the probability engine for the optimization loop.
-	EstOpts power.Options
+	// Cache-key: semantic.
+	EstOpts power.Options `json:"EstOpts"`
 	// MaxPairs caps the MinPower candidate pair set (0 = all pairs).
-	MaxPairs int
+	// Cache-key: semantic.
+	MaxPairs int `json:"MaxPairs"`
 	// ExhaustiveLimit is the output count up to which MinArea searches
 	// exhaustively (default 12).
-	ExhaustiveLimit int
+	// Cache-key: semantic.
+	ExhaustiveLimit int `json:"ExhaustiveLimit"`
 	// Timing is the delay model for the timed flow (default
 	// timing.DefaultParams).
-	Timing *timing.Params
+	// Cache-key: semantic.
+	Timing *timing.Params `json:"Timing"`
 	// Slack scales the Table 2 clock target over the fastest achievable
 	// minimum-area implementation (default 1.10).
-	Slack float64
+	// Cache-key: semantic.
+	Slack float64 `json:"Slack"`
 	// Resynthesize enables collapse-and-refactor before phase
 	// assignment: outputs with support up to MaxCollapseSupport are
 	// rebuilt from factored irredundant covers (internal/sop).
-	Resynthesize bool
+	// Cache-key: semantic.
+	Resynthesize bool `json:"Resynthesize"`
 	// MaxCollapseSupport bounds the resynthesis collapse (default 14).
-	MaxCollapseSupport int
+	// Cache-key: semantic.
+	MaxCollapseSupport int `json:"MaxCollapseSupport"`
 	// Workers bounds the worker pool of the exhaustive phase search and
 	// the Monte-Carlo measurement (0 = GOMAXPROCS, 1 = sequential). It
 	// never changes results.
-	Workers int
+	// Cache-key: wall-clock (erased by Canonical).
+	Workers int `json:"Workers"`
 	// SimShards splits the measurement vectors into independently seeded
 	// concurrent streams (see sim.Config.Shards); 0 keeps the
 	// single-stream measurement.
-	SimShards int
+	// Cache-key: semantic.
+	SimShards int `json:"SimShards"`
 	// SimKernel selects the measurement engine (see sim.Kernel); the
 	// zero value is the bit-parallel one. Like Workers, it never changes
 	// results — only wall-clock.
-	SimKernel sim.Kernel
+	// Cache-key: wall-clock (erased by Canonical).
+	SimKernel sim.Kernel `json:"SimKernel"`
 	// SimBlockWords sets the blocked kernel's block size in 64-lane
 	// words (see sim.Config.BlockWords); 0 means the kernel default.
 	// Like SimKernel, it never changes results — only wall-clock.
-	SimBlockWords int
+	// Cache-key: wall-clock (erased by Canonical).
+	SimBlockWords int `json:"SimBlockWords"`
 	// PhaseScoring selects the candidate-scoring engine of the
 	// power-driven phase searches (zero value: the cone table).
-	PhaseScoring PhaseScoring
+	// Cache-key: semantic.
+	PhaseScoring PhaseScoring `json:"PhaseScoring"`
 	// SearchStrategy, when not StrategyAuto, replaces the paper's
 	// pairwise MinPower heuristic with the selected phase-search
 	// strategy (gray-code exhaustive, exact branch-and-bound, annealing,
 	// or multi-restart greedy) over the configured scorer. It applies to
 	// the power-driven search of SynthesizeMP and the sequential flow;
 	// the MA baseline keeps its own dispatch.
-	SearchStrategy phase.SearchStrategy
+	// Cache-key: semantic.
+	SearchStrategy phase.SearchStrategy `json:"SearchStrategy"`
 	// SearchRestarts, SearchSeed, and AnnealSteps parameterize the
 	// strategy path (see phase.SearchOptions).
-	SearchRestarts int
-	SearchSeed     int64
-	AnnealSteps    int
+	// Cache-key: semantic.
+	SearchRestarts int `json:"SearchRestarts"`
+	// SearchSeed seeds the randomized strategies (annealing, restarts).
+	// Cache-key: semantic.
+	SearchSeed int64 `json:"SearchSeed"`
+	// AnnealSteps bounds the annealing schedule (0 = calibrated).
+	// Cache-key: semantic.
+	AnnealSteps int `json:"AnnealSteps"`
 	// BDDNodeBudget caps the live node count of every BDD build run on
 	// behalf of this configuration (0 = unlimited). When a build exceeds
 	// it the circuit is retried down the degradation chain — exact BDD →
@@ -139,16 +171,18 @@ type Config struct {
 	// fallback stage is recorded per row (CorpusRow.Engine). The cap is
 	// checked per build, so whether it trips is a pure function of the
 	// configuration and circuit — never of Workers or scheduling.
-	BDDNodeBudget int
+	// Cache-key: semantic.
+	BDDNodeBudget int `json:"BDDNodeBudget"`
 	// SimVectorBudget caps the Monte-Carlo measurement vectors per sim
 	// run (0 = unlimited). The clamp applies before sharding, so it is
 	// deterministic for every Workers/SimShards setting.
-	SimVectorBudget int
+	// Cache-key: semantic.
+	SimVectorBudget int `json:"SimVectorBudget"`
 	// BDDReorder selects the dynamic-reordering mode for budgeted exact
 	// builds (see BDDReorderMode; the zero value, ReorderAuto, inserts a
-	// reorder-and-retry stage into the degradation chain). Semantic:
-	// part of the canonical content-addressed form.
-	BDDReorder BDDReorderMode
+	// reorder-and-retry stage into the degradation chain).
+	// Cache-key: semantic.
+	BDDReorder BDDReorderMode `json:"BDDReorder"`
 }
 
 // estOptions returns the probability-engine options bound to a budget

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"reflect"
+	"strings"
+)
+
+// Field-doc markers. Every flow.Config field must state its cache-key
+// class in its doc comment; the analyzer cross-checks the wall-clock
+// set against the zero-erasures in Canonical(), so the doc, the code,
+// and the content-address key can never drift apart.
+const (
+	markerSemantic  = "Cache-key: semantic"
+	markerWallClock = "Cache-key: wall-clock"
+)
+
+// CacheKey turns the serve cache-key reflection test into a build-time
+// contract on package flow: every Config field must (1) carry exactly
+// one `Cache-key: semantic.` / `Cache-key: wall-clock.` doc marker,
+// (2) carry a json tag naming the field (so the canonical JSON the
+// cache hashes cannot be renamed silently), and (3) be zero-erased in
+// Canonical() iff it is marked wall-clock. Deleting an erase line —
+// say `c.SimBlockWords = 0` — fails the build.
+var CacheKey = &Analyzer{
+	Name:      "cachekey",
+	Directive: "cachekey-ok",
+	Doc: "every flow.Config field must be classified semantic or " +
+		"wall-clock (doc marker + json tag), and Canonical() must erase " +
+		"exactly the wall-clock set",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *Pass) error {
+	if !pkgScope(pass, "flow") {
+		return nil
+	}
+	var cfg *ast.StructType
+	var cfgPos token.Pos
+	var canonical *ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Name.Name != "Config" {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						cfg = st
+						cfgPos = ts.Pos()
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "Canonical" && d.Recv != nil && recvIsConfig(d) {
+					canonical = d
+				}
+			}
+		}
+	}
+	if cfg == nil {
+		return nil // fixture or future split: no Config here
+	}
+	if canonical == nil {
+		pass.Reportf(cfgPos, "Config has no Canonical() method: the content-addressed "+
+			"cache key is undefined without it")
+		return nil
+	}
+
+	erased := canonicalErasures(canonical)
+
+	for _, field := range cfg.Fields.List {
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "embedded Config field cannot be classified "+
+				"semantic-or-wall-clock; name it")
+			continue
+		}
+		doc := field.Doc.Text()
+		sem := strings.Contains(doc, markerSemantic)
+		wall := strings.Contains(doc, markerWallClock)
+		for _, name := range field.Names {
+			switch {
+			case sem && wall:
+				pass.Reportf(name.Pos(), "Config field %s is marked both %q and %q; pick one",
+					name.Name, markerSemantic, markerWallClock)
+			case !sem && !wall:
+				pass.Reportf(name.Pos(), "Config field %s is not classified: its doc comment "+
+					"must state %q (part of the cache key) or %q (erased by Canonical)",
+					name.Name, markerSemantic+".", markerWallClock)
+			case wall && !erased[name.Name]:
+				pass.Reportf(name.Pos(), "Config field %s is marked wall-clock but Canonical() "+
+					"does not zero it: the cache key would fragment on a knob that never "+
+					"changes results", name.Name)
+			case sem && erased[name.Name]:
+				pass.Reportf(name.Pos(), "Config field %s is marked semantic but Canonical() "+
+					"zeroes it: distinct semantics would collide on one cache key", name.Name)
+			}
+			checkJSONTag(pass, field, name.Name)
+		}
+	}
+	return nil
+}
+
+// canonicalErasures collects the Config fields the Canonical body
+// assigns a zero literal to (`c.Workers = 0`, `c.Lib = nil`, ...) —
+// the "explicitly erased" wall-clock set. Non-zero assignments (the
+// default fills like `c.SearchRestarts = 3`) are not erasures.
+func canonicalErasures(fn *ast.FuncDecl) map[string]bool {
+	recv := ""
+	if len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		recv = fn.Recv.List[0].Names[0].Name
+	}
+	erased := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || x.Name != recv {
+				continue // nested assignment like c.EstOpts.Depth: a default fill
+			}
+			if isZeroExpr(as.Rhs[i]) {
+				erased[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return erased
+}
+
+func recvIsConfig(fn *ast.FuncDecl) bool {
+	if len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Config"
+}
+
+// isZeroExpr reports whether e is a zero literal: 0, 0.0, "", nil,
+// false, or a conversion of one (T(0)).
+func isZeroExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		switch v.Value {
+		case "0", "0.0", `""`, "``", "0x0":
+			return true
+		}
+	case *ast.Ident:
+		return v.Name == "nil" || v.Name == "false"
+	case *ast.CallExpr:
+		if len(v.Args) == 1 {
+			return isZeroExpr(v.Args[0])
+		}
+	}
+	return false
+}
+
+// checkJSONTag enforces a json tag whose name equals the field name, so
+// the canonical JSON that serve.CacheKey hashes is pinned in the source
+// and cannot change byte layout through a silent rename.
+func checkJSONTag(pass *Pass, field *ast.Field, name string) {
+	if field.Tag == nil {
+		pass.Reportf(field.Pos(), "Config field %s has no json tag: the cache key hashes "+
+			"the canonical JSON, so the wire name must be pinned as `json:%q`", name, name)
+		return
+	}
+	tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+	jt, ok := tag.Lookup("json")
+	if !ok {
+		pass.Reportf(field.Tag.Pos(), "Config field %s has a struct tag but no json key: "+
+			"pin the wire name as `json:%q`", name, name)
+		return
+	}
+	jsonName, _, _ := strings.Cut(jt, ",")
+	if jsonName != name {
+		pass.Reportf(field.Tag.Pos(), "Config field %s json tag names %q: renaming the wire "+
+			"field silently changes every cache key; keep `json:%q`", name, jsonName, name)
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix is the exact comment prefix that marks a dominolint
+// directive. Following the //go: convention, a space after the slashes
+// (`// dominolint:`) makes the line prose, not a directive — only the
+// exact prefix is parsed, so doc comments may mention directives
+// freely.
+const directivePrefix = "//dominolint:"
+
+// knownDirectives maps directive names to the analyzer they suppress.
+// Kept in sync with the Analyzer.Directive fields by
+// TestDirectiveNamesMatchSuite.
+var knownDirectives = map[string]string{
+	"nondet-ok":   "detrange",
+	"cachekey-ok": "cachekey",
+	"budget-ok":   "budgetpoll",
+	"walltime-ok": "walltime",
+	"errsink-ok":  "errsink",
+}
+
+// A directive is one parsed //dominolint: comment.
+type directive struct {
+	pos    token.Pos
+	line   int
+	name   string // directive name, possibly unknown
+	reason string // mandatory justification; "" = malformed
+}
+
+// wellFormed reports whether the directive can suppress findings: a
+// known name plus a non-empty reason. Malformed directives never
+// suppress anything (and are themselves findings), so a typo cannot
+// silently disable a contract.
+func (d directive) wellFormed() bool {
+	_, ok := knownDirectives[d.name]
+	return ok && d.reason != ""
+}
+
+// parseDirectives extracts every //dominolint: comment from the files,
+// keyed by file line.
+func parseDirectives(fset *token.FileSet, files []*ast.File) map[int][]directive {
+	byLine := make(map[int][]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				// A reason ends where a further comment begins, so a
+				// trailing marker (like a fixture's `// want`) is not
+				// mistaken for justification prose.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				d := directive{
+					pos:    c.Pos(),
+					line:   fset.Position(c.Pos()).Line,
+					name:   strings.TrimSpace(name),
+					reason: strings.TrimSpace(reason),
+				}
+				byLine[d.line] = append(byLine[d.line], d)
+			}
+		}
+	}
+	return byLine
+}
+
+// suppressed reports whether a finding of the analyzer with directive
+// name dirName at the given line is covered by a well-formed directive
+// on the same line or the line immediately above.
+func suppressed(byLine map[int][]directive, dirName string, line int) bool {
+	if dirName == "" {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.name == dirName && d.wellFormed() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DirectiveAnalyzer reports malformed //dominolint: directives: an
+// unknown analyzer name or a missing reason. Its findings are not
+// themselves suppressible.
+var DirectiveAnalyzer = &Analyzer{
+	Name: "directive",
+	Doc: "malformed //dominolint: directives (unknown analyzer name or " +
+		"missing reason) are findings, so a typo never silently disables " +
+		"a contract",
+	Run: runDirective,
+}
+
+func runDirective(pass *Pass) error {
+	byLine := parseDirectives(pass.Fset, pass.Files)
+	lines := make([]int, 0, len(byLine))
+	for l := range byLine {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	for _, l := range lines {
+		for _, d := range byLine[l] {
+			if _, ok := knownDirectives[d.name]; !ok {
+				known := make([]string, 0, len(knownDirectives))
+				for n := range knownDirectives {
+					known = append(known, n)
+				}
+				sort.Strings(known)
+				pass.Reportf(d.pos, "unknown dominolint directive %q (known: %s)",
+					d.name, strings.Join(known, ", "))
+				continue
+			}
+			if d.reason == "" {
+				pass.Reportf(d.pos, "dominolint directive %q is missing its reason: "+
+					"write //dominolint:%s <why this site is exempt>", d.name, d.name)
+			}
+		}
+	}
+	return nil
+}

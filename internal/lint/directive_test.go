@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseOne parses src and returns the directive table.
+func parseOne(t *testing.T, src string) map[int][]directive {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseDirectives(fset, []*ast.File{f})
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	a := 1 //dominolint:nondet-ok the reason text
+	b := 2 //dominolint:budget-ok
+	c := 3 // dominolint:walltime-ok spaced means prose, not a directive
+	d := 4 //dominolint:unknown-name some reason
+	_, _, _, _ = a, b, c, d
+}
+`
+	byLine := parseOne(t, src)
+	if len(byLine) != 3 {
+		t.Fatalf("want 3 directive lines, got %d: %v", len(byLine), byLine)
+	}
+	if d := byLine[4][0]; d.name != "nondet-ok" || d.reason != "the reason text" || !d.wellFormed() {
+		t.Errorf("line 4: %+v", d)
+	}
+	if d := byLine[5][0]; d.name != "budget-ok" || d.reason != "" || d.wellFormed() {
+		t.Errorf("line 5 should parse but be malformed (missing reason): %+v", d)
+	}
+	if _, ok := byLine[6]; ok {
+		t.Errorf("spaced comment on line 6 must not parse as a directive")
+	}
+	if d := byLine[7][0]; d.name != "unknown-name" || d.wellFormed() {
+		t.Errorf("line 7 should parse but be malformed (unknown name): %+v", d)
+	}
+}
+
+func TestSuppressedCoversSameAndPreviousLine(t *testing.T) {
+	src := `package p
+
+func f(m map[string]int) {
+	//dominolint:nondet-ok reason above
+	x := len(m)
+	y := len(m) //dominolint:nondet-ok reason beside
+	_ = x
+	_ = y
+}
+`
+	byLine := parseOne(t, src)
+	if !suppressed(byLine, "nondet-ok", 5) {
+		t.Error("directive on the previous line must suppress")
+	}
+	if !suppressed(byLine, "nondet-ok", 6) {
+		t.Error("directive on the same line must suppress")
+	}
+	// A directive covers its own line and the next one only.
+	if suppressed(byLine, "nondet-ok", 8) {
+		t.Error("directive must not leak two lines down")
+	}
+	if suppressed(byLine, "budget-ok", 5) {
+		t.Error("a directive only suppresses its own analyzer")
+	}
+	if suppressed(byLine, "", 5) {
+		t.Error("the empty directive name never suppresses")
+	}
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrSink flags discarded error returns in the parser packages
+// (internal/blif, internal/pla) — the exact class of the PR 5 bugs
+// where swallowed fmt.Sscanf errors turned malformed headers into
+// misleading downstream failures. Every discard is a finding: a bare
+// call statement whose callee returns an error, and a blank `_` in the
+// error position of an assignment (including an explicit `_ = f()`);
+// intentional discards carry //dominolint:errsink-ok with the reason.
+//
+// One pattern is allowed without a directive: a discarded write whose
+// destination is a *bufio.Writer (fmt.Fprintf(bw, ...) or a method on
+// bw). bufio latches the first write error and re-surfaces it from
+// Flush — "all subsequent writes, and Flush, will return the error" —
+// so the serializers that end in `return bw.Flush()` lose nothing.
+var ErrSink = &Analyzer{
+	Name:      "errsink",
+	Directive: "errsink-ok",
+	Doc: "discarded error returns in internal/blif and internal/pla " +
+		"(the swallowed-Sscanf bug class); handle the error or annotate " +
+		"//dominolint:errsink-ok <reason>",
+	Run: runErrSink,
+}
+
+func runErrSink(pass *Pass) error {
+	if !pkgScope(pass, "blif", "pla") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkDiscardedCall(pass, call)
+				}
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, s.Call)
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, s.Call)
+			case *ast.AssignStmt:
+				checkBlankError(pass, s)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscardedCall reports a call statement whose result set includes
+// an error that nothing receives.
+func checkDiscardedCall(pass *Pass, call *ast.CallExpr) {
+	if isBufioLatchedWrite(pass, call) {
+		return
+	}
+	for _, t := range resultTypes(pass, call) {
+		if isErrorType(t) {
+			pass.Reportf(call.Pos(), "error result of %s is discarded: a swallowed parse "+
+				"error resurfaces as a misleading failure later; handle it or annotate "+
+				"//dominolint:errsink-ok <reason>", exprString(call.Fun))
+			return
+		}
+	}
+}
+
+// checkBlankError reports a blank identifier bound to an error value in
+// an assignment, covering both `n, _ := f()` and `_ = f()`.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	var rhsTypes []types.Type
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			rhsTypes = resultTypes(pass, call)
+		}
+	} else if len(as.Rhs) == len(as.Lhs) {
+		for _, r := range as.Rhs {
+			if tv, ok := pass.TypesInfo.Types[r]; ok {
+				rhsTypes = append(rhsTypes, tv.Type)
+			} else {
+				rhsTypes = append(rhsTypes, nil)
+			}
+		}
+	}
+	if len(rhsTypes) != len(as.Lhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" || rhsTypes[i] == nil {
+			continue
+		}
+		if isErrorType(rhsTypes[i]) {
+			pass.Reportf(id.Pos(), "error assigned to the blank identifier: a swallowed "+
+				"parse error resurfaces as a misleading failure later; handle it or "+
+				"annotate //dominolint:errsink-ok <reason>")
+		}
+	}
+}
+
+// resultTypes returns the call's result types (nil-safe, one element
+// for single-result calls).
+func resultTypes(pass *Pass, call *ast.CallExpr) []types.Type {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := range out {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{tv.Type}
+}
+
+// isBufioLatchedWrite reports whether call is a write whose errors are
+// latched by a *bufio.Writer destination: fmt.Fprint/Fprintf/Fprintln
+// with a *bufio.Writer first argument, or a method call on a
+// *bufio.Writer receiver. Those errors re-surface from Flush.
+func isBufioLatchedWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() != nil {
+		return isBufioWriterPtr(sig.Recv().Type())
+	}
+	if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+			return isBufioWriterPtr(tv.Type)
+		}
+	}
+	return false
+}
+
+func isBufioWriterPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Writer" && obj.Pkg() != nil && obj.Pkg().Path() == "bufio"
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The fixture loader mirrors x/tools' analysistest: packages live under
+// a GOPATH-style root (testdata/src), their import path is their
+// directory relative to that root, and `// want "regex"` comments in
+// the sources state the expected findings line by line. It is also what
+// `dominolint -dir` uses, so the CI seeded-violation gate exercises the
+// same loader as the analyzer tests.
+
+// fixtureImporter resolves imports first against the fixture root, then
+// the standard library via the shared source importer.
+type fixtureImporter struct {
+	root  string
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+func newFixtureImporter(root string) *fixtureImporter {
+	fset := token.NewFileSet()
+	return &fixtureImporter{
+		root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*Package),
+	}
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, err := fi.load(path); err == nil {
+		return pkg.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return fi.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at root/path. A
+// missing directory returns an os.IsNotExist error so Import can fall
+// back to the standard library.
+func (fi *fixtureImporter) load(path string) (*Package, error) {
+	if pkg, ok := fi.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse fixture %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no Go files", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fi}
+	tpkg, err := conf.Check(path, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Fset: fi.fset, Files: files, Types: tpkg, Info: info}
+	fi.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadFixture loads the package at root/path (GOPATH-style fixture
+// layout; path also becomes the package's import path, so its last
+// element selects analyzer scope).
+func LoadFixture(root, path string) (*Package, error) {
+	return newFixtureImporter(root).load(path)
+}
+
+// LoadDir loads dir as a fixture package. When dir sits under a "src"
+// ancestor the import path is taken relative to it (so sibling fixture
+// imports resolve); otherwise the directory base alone is the path.
+func LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, path := filepath.Dir(abs), filepath.Base(abs)
+	for p := filepath.Dir(abs); ; {
+		parent := filepath.Dir(p)
+		if filepath.Base(p) == "src" {
+			root = p
+			rel, err := filepath.Rel(p, abs)
+			if err != nil {
+				return nil, err
+			}
+			path = filepath.ToSlash(rel)
+			break
+		}
+		if parent == p {
+			break
+		}
+		p = parent
+	}
+	return LoadFixture(root, path)
+}
+
+// wantRE extracts the quoted expectations of a `// want "re" "re"`
+// comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture loads testdata/src/<path> relative to the caller and
+// checks the analyzer's surviving findings against the fixture's
+// `// want "regex"` comments: every finding must match an expectation
+// on its line, and every expectation must be matched by a finding.
+func RunFixture(t testing.TB, a *Analyzer, path string) {
+	t.Helper()
+	pkg, err := LoadFixture(filepath.Join("testdata", "src"), path)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", path, err)
+	}
+	findings := CheckPackage(pkg, []*Analyzer{a})
+
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("read fixture source: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				want[key{name, i + 1}] = append(want[key{name, i + 1}], re)
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range want {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		ok := false
+		for i, re := range want[k] {
+			if re.MatchString(f.Message) {
+				matched[k][i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s", f)
+		}
+	}
+	var keys []key
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for i, re := range want[k] {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoFlowCacheKeyContract runs the cachekey analyzer over the real
+// repro/internal/flow package: every Config field classified, every
+// wire name pinned, Canonical erasing exactly the wall-clock set.
+// Deleting an erase line (say `c.SimBlockWords = 0`) fails this test
+// and `make lint` alike.
+func TestRepoFlowCacheKeyContract(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the real flow package; skipped under -short")
+	}
+	pkgs, err := LoadPackages("", []string{"repro/internal/flow"})
+	if err != nil {
+		t.Fatalf("load repro/internal/flow: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	if findings := CheckPackage(pkgs[0], []*Analyzer{CacheKey}); len(findings) != 0 {
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+	}
+}

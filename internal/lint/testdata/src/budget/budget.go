@@ -1,0 +1,10 @@
+// Package budget is the fixture twin of repro/internal/budget: the
+// budgetpoll analyzer matches *budget.T by the package path's last
+// element, so fixtures import this stub instead of the real token.
+package budget
+
+// T is the fixture cancellation/budget token.
+type T struct{}
+
+// Err is the poll.
+func (t *T) Err() error { return nil }

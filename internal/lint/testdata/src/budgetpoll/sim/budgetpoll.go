@@ -1,0 +1,60 @@
+// Package sim is the budgetpoll fixture: its path ends in "sim", an
+// engine scope package.
+package sim
+
+import "budget"
+
+// HotLoop forgets to poll in its first loop and polls in its second.
+func HotLoop(n int, tok *budget.T) error {
+	acc := 0
+	for i := 0; i < n; i++ { // want "never references the \*budget.T parameter"
+		acc += i
+	}
+	for i := 0; i < n; i++ {
+		if err := tok.Err(); err != nil {
+			return err
+		}
+		acc += i
+	}
+	_ = acc
+	return nil
+}
+
+// PassDown satisfies the contract by handing the token to the callee.
+func PassDown(n int, tok *budget.T) {
+	for i := 0; i < n; i++ {
+		helper(tok)
+	}
+}
+
+func helper(tok *budget.T) { _ = tok.Err() }
+
+// Bounded carries a well-formed directive naming the bound.
+func Bounded(tok *budget.T) int {
+	s := 0
+	//dominolint:budget-ok bounded at 8 words per block, no calls inside
+	for i := 0; i < 8; i++ {
+		s += i
+	}
+	_ = tok
+	return s
+}
+
+// NoToken has no *budget.T parameter, so its loops are out of scope.
+func NoToken(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+// RangeForgets covers the range-statement form.
+func RangeForgets(xs []int, tok *budget.T) int {
+	s := 0
+	for _, v := range xs { // want "never references the \*budget.T parameter"
+		s += v
+	}
+	_ = tok.Err()
+	return s
+}

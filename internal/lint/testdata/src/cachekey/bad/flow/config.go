@@ -1,0 +1,30 @@
+// Package flow is the failing cachekey fixture: one field per way the
+// classification contract can break.
+package flow
+
+// Config exhibits every violation class.
+type Config struct {
+	Unclassified int `json:"Unclassified"` // want "not classified"
+	// NoTag is semantic but unpinned on the wire.
+	// Cache-key: semantic.
+	NoTag int // want "has no json tag"
+	// NotErased claims wall-clock but Canonical keeps it.
+	// Cache-key: wall-clock (erased by Canonical).
+	NotErased int `json:"NotErased"` // want "marked wall-clock but Canonical\(\) does not zero it"
+	// Erased claims semantic but Canonical zeroes it.
+	// Cache-key: semantic.
+	Erased int `json:"Erased"` // want "marked semantic but Canonical\(\) zeroes it"
+	// Renamed pins the wrong wire name.
+	// Cache-key: semantic.
+	Renamed int `json:"renamed_wire"` // want "json tag names \"renamed_wire\""
+	// Acknowledged is wall-clock, unerased, but suppressed by directive.
+	// Cache-key: wall-clock (erased by Canonical).
+	//dominolint:cachekey-ok fixture demonstrates suppression of the erase cross-check
+	Acknowledged int `json:"Acknowledged"`
+}
+
+// Canonical erases the wrong set.
+func (c Config) Canonical() Config {
+	c.Erased = 0
+	return c
+}

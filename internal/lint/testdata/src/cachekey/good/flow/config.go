@@ -1,0 +1,22 @@
+// Package flow is the passing cachekey fixture: every field classified,
+// every wire name pinned, Canonical erasing exactly the wall-clock set.
+package flow
+
+// Config is the fixture twin of flow.Config.
+type Config struct {
+	// Seed drives results.
+	// Cache-key: semantic.
+	Seed int64 `json:"Seed"`
+	// Workers never changes results.
+	// Cache-key: wall-clock (erased by Canonical).
+	Workers int `json:"Workers"`
+}
+
+// Canonical erases the wall-clock knobs.
+func (c Config) Canonical() Config {
+	if c.Seed == 0 {
+		c.Seed = 1 // a default fill, not an erasure
+	}
+	c.Workers = 0
+	return c
+}

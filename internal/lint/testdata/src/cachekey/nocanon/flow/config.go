@@ -1,0 +1,9 @@
+// Package flow is the missing-Canonical cachekey fixture.
+package flow
+
+// Config has no Canonical method, so the cache key is undefined.
+type Config struct { // want "Config has no Canonical\(\) method"
+	// Seed drives results.
+	// Cache-key: semantic.
+	Seed int64 `json:"Seed"`
+}

@@ -1,0 +1,59 @@
+// Package flow is the detrange fixture: its path ends in "flow", a
+// row-producing scope package.
+package flow
+
+import "sort"
+
+// Sum folds map iteration order into its result.
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "range over map m: iteration order is nondeterministic"
+		s += v
+	}
+	return s
+}
+
+// SortedKeys is the allowed collect-sort-iterate pattern: the map range
+// only appends, the later slice range is not a map range.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Suppressed carries a well-formed directive.
+func Suppressed(m map[string]int) int {
+	s := 0
+	//dominolint:nondet-ok integer addition is commutative and the sum is the only observable
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// MalformedDirectiveDoesNotSuppress: a directive without a reason never
+// silences a finding.
+func MalformedDirectiveDoesNotSuppress(m map[string]int) int {
+	s := 0
+	//dominolint:nondet-ok
+	for _, v := range m { // want "range over map m"
+		s += v
+	}
+	return s
+}
+
+// SliceRange is never a finding.
+func SliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+// Package flow is the directive-parser fixture: malformed directives
+// are themselves findings.
+package flow
+
+// Known covers well-formed directives (no findings).
+func Known(m map[string]int) int {
+	s := 0
+	//dominolint:nondet-ok commutative sum, order cannot be observed
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Unknown uses a name no analyzer owns.
+func Unknown() {
+	x := 1 //dominolint:frobnicate because reasons // want "unknown dominolint directive \"frobnicate\""
+	_ = x
+}
+
+// MissingReason omits the mandatory justification.
+func MissingReason() {
+	y := 2 //dominolint:nondet-ok // want "missing its reason"
+	_ = y
+}
+
+// Bare has neither name nor reason.
+func Bare() {
+	z := 3 //dominolint: // want "unknown dominolint directive"
+	_ = z
+}
+
+// Prose mentions a directive with a space after the slashes, which is
+// documentation, not a directive: // dominolint:nondet-ok is prose.
+func Prose() {}

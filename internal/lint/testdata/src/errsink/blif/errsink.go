@@ -1,0 +1,43 @@
+// Package blif is the errsink fixture: its path ends in "blif", a
+// parser scope package.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Swallow is the PR 5 bug class in miniature.
+func Swallow(s string) int {
+	var n int
+	fmt.Sscanf(s, "%d", &n) // want "error result of fmt.Sscanf is discarded"
+	v, _ := strconv.Atoi(s) // want "error assigned to the blank identifier"
+	return n + v
+}
+
+// ExplicitBlank is still a finding: the discard must carry a reason.
+func ExplicitBlank(f func() error) {
+	_ = f() // want "error assigned to the blank identifier"
+}
+
+// Suppressed carries a well-formed directive.
+func Suppressed(s string) {
+	var n int
+	fmt.Sscanf(s, "%d", &n) //dominolint:errsink-ok fixture demonstrates an acknowledged discard
+}
+
+// Handled is never a finding.
+func Handled(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+// WriteLatched uses the bufio latch pattern: intermediate write errors
+// re-surface from Flush, so the discards are allowed without directives.
+func WriteLatched(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "header %d\n", 1)
+	bw.WriteString("body\n")
+	return bw.Flush()
+}

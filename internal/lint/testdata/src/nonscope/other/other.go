@@ -1,0 +1,26 @@
+// Package other is out of every analyzer's scope: the full suite must
+// report nothing here despite each violation pattern being present.
+package other
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"budget"
+)
+
+// Everything violates every contract — out of scope, so no findings.
+func Everything(m map[string]int, tok *budget.T) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	for i := 0; i < 4; i++ {
+		s += i
+	}
+	var n int
+	fmt.Sscanf("1", "%d", &n)
+	_ = time.Now()
+	return s + n + int(rand.Int63())
+}

@@ -1,0 +1,21 @@
+// Package flow is the deliberately broken fixture behind the CI
+// seeded-violation gate (`make lintgate`): `dominolint -dir` over this
+// directory must exit non-zero, proving the lint gate actually fails
+// builds. Do not "fix" these violations.
+package flow
+
+import "time"
+
+// Stamp leaks wall-clock into a row-feeding package.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Sum folds map iteration order into a result.
+func Sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

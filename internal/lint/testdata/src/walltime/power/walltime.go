@@ -1,0 +1,29 @@
+// Package power is the walltime fixture: its path ends in "power", a
+// row-feeding scope package.
+package power
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Ambient reads the wall clock and the global random state.
+func Ambient() float64 {
+	t := time.Now()                     // want "time.Now in a row-feeding package"
+	d := time.Since(t)                  // want "time.Since in a row-feeding package"
+	return d.Seconds() + rand.Float64() // want "global math/rand.Float64"
+}
+
+// Seeded draws from an explicitly seeded stream: allowed.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Stamped is a documented wall-clock site.
+func Stamped() int64 {
+	return time.Now().UnixNano() //dominolint:walltime-ok fixture twin of the documented WallSec stamping site
+}
+
+// Elapsed measures without ambient reads: allowed.
+func Elapsed(a, b time.Time) time.Duration { return b.Sub(a) }

@@ -43,6 +43,7 @@ func descendState(st ScoreState, asg Assignment, score float64, tok *budget.T) (
 			return 0, err
 		}
 		improved = false
+		//dominolint:budget-ok bounded at k O(1) flips per sweep; the enclosing loop polls once per sweep
 		for i := range asg {
 			if s := st.Flip(i); s < score {
 				asg[i] = !asg[i]

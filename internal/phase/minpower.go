@@ -210,6 +210,7 @@ func MinPower(n *logic.Network, opts PowerOptions) (Assignment, *Result, float64
 			return nil, err
 		}
 		cands := make([]cand, 0, len(remaining))
+		//dominolint:nondet-ok candidates are fully ordered by the total (k,i,j,combo) sort below, so collection order cannot reach a result
 		for pk := range remaining {
 			for combo := RetainRetain; combo <= InvertInvert; combo++ {
 				cands = append(cands, cand{pk.i, pk.j, combo, stats.k(pk.i, pk.j, combo)})

@@ -162,6 +162,7 @@ func exhaustiveParallel(n *logic.Network, eval Evaluator, workers int, tok *budg
 		return nil, nil, 0, err
 	}
 	var best *candidate
+	//dominolint:budget-ok reduction over per-shard winners, bounded by the shard count; every shard scan polled per mask
 	for _, c := range bests {
 		if c != nil && c.better(best) {
 			best = c
@@ -235,6 +236,7 @@ func exhaustiveScored(n *logic.Network, scorer AssignmentScorer, workers int, to
 		return nil, nil, 0, err
 	}
 	var best scoredBest
+	//dominolint:budget-ok reduction over per-shard winners, bounded by the shard count; every shard scan polled per mask
 	for _, b := range bests {
 		if b.ok && (!best.ok || b.score < best.score) {
 			best = b
